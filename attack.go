@@ -1,0 +1,46 @@
+package uncertaingraph
+
+import (
+	"math/rand"
+
+	"uncertaingraph/internal/adversary"
+	"uncertaingraph/internal/degreetrail"
+)
+
+// EvolveGraph returns `releases` growing snapshots of g (preferential
+// edge additions of growth*|E| edges per step), modelling the
+// sequential-release scenario of the paper's Section 8.
+func EvolveGraph(g *Graph, releases int, growth float64, rng *rand.Rand) []*Graph {
+	return degreetrail.Evolve(g, releases, growth, rng)
+}
+
+// DegreeTrails returns trails[v][t] = degree of v in snapshot t: the
+// adversary's background knowledge in the degree-trail attack.
+func DegreeTrails(snapshots []*Graph) [][]int { return degreetrail.Trails(snapshots) }
+
+// DegreeTrailCrowds runs the Medforth–Wang degree-trail attack against
+// certain releases: for each vertex, the number of vertices sharing its
+// exact degree trail (1 = fully re-identified).
+func DegreeTrailCrowds(snapshots []*Graph) []int {
+	return degreetrail.CertainCrowdSizes(snapshots)
+}
+
+// SequentialObfuscationLevels runs the degree-trail attack against a
+// sequence of uncertain releases: per target, the entropy-based level
+// of the adversary's combined belief across releases. targets nil
+// attacks every vertex.
+func SequentialObfuscationLevels(published []*UncertainGraph, trails [][]int, targets []int) []float64 {
+	models := make([]adversary.Model, len(published))
+	for i, g := range published {
+		models[i] = adversary.UncertainModel{G: g}
+	}
+	return degreetrail.SequentialLevels(models, trails, targets)
+}
+
+// BeliefAnonymity returns the per-vertex a-posteriori belief anonymity
+// 1/max_u Y_{deg(v)}(u) — the Hay et al. measure that the paper's
+// entropy levels provably dominate. Useful for comparing the two
+// measures on the same publication.
+func BeliefAnonymity(ug *UncertainGraph, originalDegrees []int) []float64 {
+	return adversary.BeliefLevels(adversary.UncertainModel{G: ug}, originalDegrees)
+}

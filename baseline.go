@@ -1,0 +1,36 @@
+package uncertaingraph
+
+import (
+	"math/rand"
+
+	"uncertaingraph/internal/adversary"
+	"uncertaingraph/internal/baseline"
+)
+
+// Sparsify publishes g with every edge independently deleted with
+// probability p — the random-sparsification baseline of Section 7.3.
+func Sparsify(g *Graph, p float64, rng *rand.Rand) *Graph {
+	return baseline.Sparsify(g, p, rng)
+}
+
+// Perturb publishes g with edges deleted with probability p and
+// non-edges added so the expected edge count is preserved — the
+// random-perturbation baseline of Section 7.3.
+func Perturb(g *Graph, p float64, rng *rand.Rand) *Graph {
+	return baseline.Perturb(g, p, rng)
+}
+
+// SparsifyAnonymity returns per-vertex obfuscation levels of a graph
+// published by Sparsify(original, p), under the entropy measure the
+// paper uses to match baselines against (k, ε) settings (Figure 4).
+func SparsifyAnonymity(original, published *Graph, p float64) []float64 {
+	m := baseline.NewSparsifyModel(published, p)
+	return adversary.ObfuscationLevels(m, original.Degrees())
+}
+
+// PerturbAnonymity is SparsifyAnonymity for the Perturb baseline.
+func PerturbAnonymity(original, published *Graph, p float64) []float64 {
+	m := baseline.NewPerturbModel(published, original.NumVertices(), p,
+		baseline.AddProbability(original, p))
+	return adversary.ObfuscationLevels(m, original.Degrees())
+}

@@ -1,0 +1,118 @@
+// Command evaluate computes the paper's ten utility statistics. It
+// accepts either an uncertain graph (sampling possible worlds, Section
+// 6.1) or a certain edge list, and optionally a reference graph to
+// report relative errors against.
+//
+// Usage:
+//
+//	evaluate -uncertain published.ug -worlds 100 -ref original.edges
+//	evaluate -graph original.edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	ug "uncertaingraph"
+)
+
+func main() {
+	var (
+		uin    = flag.String("uncertain", "", "uncertain graph input")
+		gin    = flag.String("graph", "", "certain graph input (edge list)")
+		ref    = flag.String("ref", "", "reference edge list for relative errors")
+		worlds = flag.Int("worlds", 100, "possible worlds to sample")
+		seed   = flag.Int64("seed", 1, "random seed")
+		exact  = flag.Bool("exact-distances", false, "use exact BFS instead of HyperANF")
+	)
+	flag.Parse()
+
+	cfg := ug.EstimateConfig{Worlds: *worlds, Seed: *seed}
+	if *exact {
+		cfg.Distances = ug.DistanceExactBFS
+	}
+
+	var refStats map[string]float64
+	if *ref != "" {
+		f, err := os.Open(*ref)
+		if err != nil {
+			fatal(err)
+		}
+		rg, _, err := ug.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		refStats = ug.Statistics(rg, cfg)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	switch {
+	case *uin != "":
+		f, err := os.Open(*uin)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := ug.ReadUncertainGraph(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sampling %d worlds of %d vertices / %d pairs\n",
+			*worlds, g.NumVertices(), g.NumPairs())
+		rep := ug.EstimateStatistics(g, cfg)
+		fmt.Fprintln(w, "statistic\tmean\trel.SEM\trel.err")
+		for _, name := range ug.StatNames {
+			fmt.Fprintf(w, "%s\t%.6g\t%.4f", name, rep.Mean(name), rep.RelSEM(name))
+			if refStats != nil {
+				fmt.Fprintf(w, "\t%.4f", rep.RelErr(name, refStats[name]))
+			} else {
+				fmt.Fprint(w, "\t-")
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "exact E[S_NE]\t%.6g\t\t\n", rep.ExactNE)
+		fmt.Fprintf(w, "exact E[S_AD]\t%.6g\t\t\n", rep.ExactAD)
+	case *gin != "":
+		f, err := os.Open(*gin)
+		if err != nil {
+			fatal(err)
+		}
+		g, _, err := ug.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		vals := ug.Statistics(g, cfg)
+		fmt.Fprintln(w, "statistic\tvalue\trel.err")
+		for _, name := range ug.StatNames {
+			fmt.Fprintf(w, "%s\t%.6g", name, vals[name])
+			if refStats != nil {
+				d := refStats[name]
+				if d != 0 {
+					fmt.Fprintf(w, "\t%.4f", abs(vals[name]-d)/abs(d))
+				}
+			} else {
+				fmt.Fprint(w, "\t-")
+			}
+			fmt.Fprintln(w)
+		}
+	default:
+		fatal(fmt.Errorf("need -uncertain or -graph"))
+	}
+	w.Flush()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evaluate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command experiments regenerates the paper's tables and figures on
+// the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	experiments -exp all -scale tiny
+//	experiments -exp table2 -scale medium -worlds 100
+//
+// Experiments: table2 table3 table4 table5 table6 fig2 fig3 fig4 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"uncertaingraph/internal/datasets"
+	"uncertaingraph/internal/experiments"
+	"uncertaingraph/internal/sampling"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (table2..table6, fig2..fig4, all)")
+		scale  = flag.String("scale", "tiny", "dataset scale (tiny|small|medium|large)")
+		worlds = flag.Int("worlds", 0, "sampled worlds per estimate (0 = scale default)")
+		trials = flag.Int("trials", 0, "Algorithm 2 attempts per sigma (0 = paper's 5)")
+		delta  = flag.Float64("delta", 0, "binary-search resolution (0 = 1e-8)")
+		seed   = flag.Int64("seed", 42, "random seed")
+		exact  = flag.Bool("exact-distances", false, "exact BFS distances instead of HyperANF")
+		bsamp  = flag.Int("baseline-samples", 0, "published baseline graphs averaged in table6 (0 = 50)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Scale:           datasets.Scale(*scale),
+		Worlds:          *worlds,
+		Trials:          *trials,
+		Delta:           *delta,
+		Seed:            *seed,
+		BaselineSamples: *bsamp,
+	}
+	if *exact {
+		opt.Distances = sampling.DistanceExactBFS
+	}
+	s, err := experiments.NewSuite(opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	start := time.Now()
+	ran := false
+
+	if want("table2") || want("table3") {
+		runs, err := experiments.Table2(s)
+		if err != nil {
+			fatal(err)
+		}
+		if want("table2") {
+			fmt.Println(experiments.RenderTable2(s, runs))
+		}
+		if want("table3") {
+			fmt.Println(experiments.RenderTable3(s, runs))
+		}
+		ran = true
+	}
+	if want("table4") {
+		rows, err := experiments.Table4(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable4(s, rows))
+		ran = true
+	}
+	if want("table5") {
+		rows, err := experiments.Table5(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable5(s, rows))
+		ran = true
+	}
+	if want("table6") {
+		rows, err := experiments.Table6(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable6(s, rows))
+		ran = true
+	}
+	if want("fig2") {
+		series, err := experiments.Figure2(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFigure(series, 16))
+		ran = true
+	}
+	if want("fig3") {
+		series, err := experiments.Figure3(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFigure(series, 12))
+		ran = true
+	}
+	if want("fig4") {
+		series, err := experiments.Figure4(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFigure4(series))
+		ran = true
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q (want %s)", *exp,
+			strings.Join([]string{"table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig4", "all"}, "|")))
+	}
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command obfuscate runs the paper's Algorithm 1 on an edge-list graph
+// and writes the resulting uncertain graph.
+//
+// Usage:
+//
+//	obfuscate -in graph.edges -k 20 -eps 0.01 -out published.ug
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ug "uncertaingraph"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input edge list (default stdin)")
+		out    = flag.String("out", "", "output uncertain graph (default stdout)")
+		k      = flag.Float64("k", 20, "obfuscation level k")
+		eps    = flag.Float64("eps", 0.01, "tolerated fraction of non-obfuscated vertices")
+		c      = flag.Float64("c", 2, "candidate-set multiplier |E_C| = c|E|")
+		q      = flag.Float64("q", 0.01, "white-noise fraction")
+		trials = flag.Int("t", 5, "attempts per noise level")
+		delta  = flag.Float64("delta", 1e-8, "binary search resolution on sigma")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	g, _, err := ug.ReadGraph(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	start := time.Now()
+	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
+		K: *k, Eps: *eps, C: *c, Q: *q,
+		Trials: *trials, Delta: *delta,
+		Rng: ug.NewRand(*seed),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr,
+		"(k=%g, eps=%g)-obfuscation found: sigma=%.6e achieved-eps=%.6f pairs=%d (%.1f edges/sec, %s)\n",
+		*k, *eps, res.Sigma, res.EpsTilde, res.G.NumPairs(),
+		float64(g.NumEdges())/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ug.WriteUncertainGraph(w, res.G); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obfuscate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Package uncertaingraph implements identity obfuscation for social
+// graphs by injecting edge uncertainty, reproducing Boldi, Bonchi,
+// Gionis and Tassa, "Injecting Uncertainty in Graphs for Identity
+// Obfuscation", PVLDB 5(11), 2012.
+//
+// Instead of deleting or adding edges outright, the published graph
+// assigns each candidate edge a probability of existence. The package
+// provides:
+//
+//   - the (k, ε)-obfuscation algorithm (Obfuscate) that finds the
+//     minimal noise level σ at which all but an ε-fraction of vertices
+//     hide in an entropy-measured crowd of size k;
+//   - the uncertain-graph model (UncertainGraph) with possible-world
+//     sampling and closed-form expected degree statistics;
+//   - the adversary machinery (ObfuscationLevels, VerifyObfuscation)
+//     shared with the random-perturbation baselines (Sparsify, Perturb)
+//     the paper compares against;
+//   - graph statistics (Statistics, EstimateStatistics) including
+//     HyperANF-based distance distributions, for measuring the utility
+//     of published graphs.
+//
+// The top-level API is a thin facade over the internal packages; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's tables and figures.
+package uncertaingraph

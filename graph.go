@@ -1,0 +1,50 @@
+package uncertaingraph
+
+import (
+	"io"
+	"math/rand"
+
+	"uncertaingraph/internal/gen"
+	"uncertaingraph/internal/graph"
+)
+
+// Graph is an immutable simple undirected graph on vertices 0..N-1.
+type Graph = graph.Graph
+
+// Edge is an unordered pair of vertices.
+type Edge = graph.Edge
+
+// GraphBuilder accumulates edges and produces immutable Graphs.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph on n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// GraphFromEdges builds a graph from an edge list, dropping duplicates
+// and self-loops.
+func GraphFromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadGraph parses a whitespace-separated edge list ("u v" lines, '#'
+// and '%' comments); vertex ids are remapped densely and the mapping is
+// returned.
+func ReadGraph(r io.Reader) (*Graph, map[string]int, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes the graph as an edge list.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Random-graph generators for synthetic workloads.
+
+// ErdosRenyi returns a uniform random graph with n vertices and m edges.
+func ErdosRenyi(rng *rand.Rand, n, m int) *Graph { return gen.ErdosRenyiGNM(rng, n, m) }
+
+// BarabasiAlbert returns a preferential-attachment graph (heavy-tailed
+// degrees); each new vertex attaches to m existing vertices.
+func BarabasiAlbert(rng *rand.Rand, n, m int) *Graph { return gen.BarabasiAlbert(rng, n, m) }
+
+// SocialGraph returns a clique-affiliation graph: nGroups overlapping
+// event cliques with sizes drawn from sizePMF, preferential membership
+// with repeat-collaboration probability repeatP — the generator behind
+// the repository's dblp/flickr/Y360 stand-ins.
+func SocialGraph(rng *rand.Rand, n, nGroups int, sizePMF []float64, repeatP float64) *Graph {
+	return gen.Affiliation(rng, n, nGroups, sizePMF, 0, repeatP, 1)
+}

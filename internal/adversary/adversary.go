@@ -1,0 +1,233 @@
+// Package adversary implements the paper's re-identification model and
+// the (k, ε)-obfuscation criterion (Definitions 2 and 3 of Section 3,
+// quantified for the degree property in Section 4).
+//
+// The adversary knows a property value ω = P(v) of a target vertex and
+// examines a published object in which each vertex v has a probability
+// distribution X_v over property values. Normalizing the column of
+// X at ω over all vertices yields Y_ω (Eq. 3), the adversary's belief
+// distribution about which published vertex is the target. A vertex is
+// k-obfuscated when H(Y_{P(v)}) >= log2 k, and the published object is a
+// (k, ε)-obfuscation when at most an ε-fraction of vertices fail that
+// bound.
+//
+// The same machinery serves two publishers: uncertain graphs (X_v is the
+// Poisson-binomial degree distribution of Section 4) and the
+// random-perturbation baselines of Section 7.3, whose X columns are
+// degree-transition probabilities under the random model (the entropy
+// measure of Bonchi et al.). Both are adapted to the Model interface.
+package adversary
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/pbinom"
+	"uncertaingraph/internal/uncertain"
+)
+
+// Dist is a probability mass function over non-negative integers.
+// pbinom.Dist satisfies it.
+type Dist interface {
+	Prob(k int) float64
+}
+
+// Model exposes, per published vertex v, the distribution X_v(ω) over
+// property values ω (paper Eq. 2 for uncertain graphs).
+type Model interface {
+	NumVertices() int
+	// VertexX returns X_v as a distribution. Implementations are called
+	// once per vertex per pass and may allocate.
+	VertexX(v int) Dist
+}
+
+// UncertainModel adapts an uncertain graph to the adversary interface
+// for the degree property: X_v is the Poisson-binomial law of v's degree
+// over its incident candidate pairs.
+type UncertainModel struct {
+	G *uncertain.Graph
+	// ExactThreshold bounds the exact DP size; beyond it the CLT
+	// approximation is used (<= 0 selects pbinom.DefaultExactThreshold).
+	ExactThreshold int
+}
+
+// NumVertices implements Model.
+func (m UncertainModel) NumVertices() int { return m.G.NumVertices() }
+
+// VertexX implements Model.
+func (m UncertainModel) VertexX(v int) Dist {
+	return m.G.DegreeDist(v, m.ExactThreshold)
+}
+
+// ColumnEntropies computes H(Y_ω) for every requested property value ω,
+// streaming the X columns of all vertices through entropy accumulators.
+// The vertex scan is parallelized across CPUs; determinism is preserved
+// because accumulator merging is exact (addition).
+// Preparer is an optional Model extension: models whose X columns are
+// cheaper to precompute in bulk (the baseline degree-transition models)
+// implement it, and ColumnEntropies invokes it before the parallel scan.
+type Preparer interface {
+	Prepare(omegas []int)
+}
+
+func ColumnEntropies(m Model, omegas []int) map[int]float64 {
+	if prep, ok := m.(Preparer); ok {
+		prep.Prepare(omegas)
+	}
+	n := m.NumVertices()
+	if len(omegas) == 0 || n == 0 {
+		return map[int]float64{}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	locals := make([][]mathx.EntropyAccumulator, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := make([]mathx.EntropyAccumulator, len(omegas))
+			for v := lo; v < hi; v++ {
+				x := m.VertexX(v)
+				for i, omega := range omegas {
+					acc[i].Add(x.Prob(omega))
+				}
+			}
+			locals[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := make([]mathx.EntropyAccumulator, len(omegas))
+	for _, acc := range locals {
+		if acc == nil {
+			continue
+		}
+		for i := range merged {
+			merged[i].Merge(acc[i])
+		}
+	}
+	out := make(map[int]float64, len(omegas))
+	for i, omega := range omegas {
+		out[omega] = merged[i].Entropy()
+	}
+	return out
+}
+
+// DistinctValues returns the sorted distinct values in the property
+// assignment (e.g. the distinct original degrees) — exactly the columns
+// the (k, ε) check needs.
+func DistinctValues(values []int) []int {
+	seen := make(map[int]struct{}, len(values))
+	var out []int
+	for _, v := range values {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VertexEntropies returns, for each original vertex v (with property
+// values[v]), the entropy H(Y_{values[v]}) under the model.
+func VertexEntropies(m Model, values []int) []float64 {
+	cols := ColumnEntropies(m, DistinctValues(values))
+	out := make([]float64, len(values))
+	for v, val := range values {
+		out[v] = cols[val]
+	}
+	return out
+}
+
+// ObfuscationLevels returns the per-vertex obfuscation level
+// 2^H(Y_{P(v)}): the effective crowd size the vertex hides in. A certain
+// graph gives exactly the count of vertices sharing the degree.
+func ObfuscationLevels(m Model, values []int) []float64 {
+	ents := VertexEntropies(m, values)
+	out := make([]float64, len(ents))
+	for i, h := range ents {
+		out[i] = math.Exp2(h)
+	}
+	return out
+}
+
+// NotObfuscatedFraction returns ε̃: the fraction of original vertices
+// that are not k-obfuscated (H(Y_{P(v)}) < log2 k) under the model.
+func NotObfuscatedFraction(m Model, values []int, k float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	ents := VertexEntropies(m, values)
+	logk := math.Log2(k)
+	bad := 0
+	for _, h := range ents {
+		if h < logk-1e-12 {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(values))
+}
+
+// IsKEpsObfuscation reports whether the model provides a
+// (k, ε)-obfuscation with respect to the property assignment, i.e. at
+// least (1-ε)n vertices are k-obfuscated (Definition 2).
+func IsKEpsObfuscation(m Model, values []int, k, eps float64) bool {
+	return NotObfuscatedFraction(m, values, k) <= eps+1e-12
+}
+
+// MatchedK implements the parameter-matching rule of Section 7.3: for a
+// fixed tolerance ε, the obfuscation level k matched by a published
+// graph is the least obfuscation level among its vertices after
+// disregarding the ⌊ε·n⌋ vertices with the smallest levels.
+func MatchedK(levels []float64, eps float64) float64 {
+	if len(levels) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), levels...)
+	sort.Float64s(sorted)
+	drop := int(eps * float64(len(sorted)))
+	if drop >= len(sorted) {
+		drop = len(sorted) - 1
+	}
+	return sorted[drop]
+}
+
+// AnonymityCDF returns, for each level 1..maxK, the number of vertices
+// whose obfuscation level is <= that level — the curves of Figure 4.
+func AnonymityCDF(levels []float64, maxK int) []int {
+	cdf := make([]int, maxK+1)
+	for _, level := range levels {
+		// A vertex of level l first satisfies "level <= k" at the
+		// smallest integer k >= l.
+		idx := int(math.Ceil(level - 1e-12))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > maxK {
+			continue
+		}
+		cdf[idx]++
+	}
+	for k := 1; k <= maxK; k++ {
+		cdf[k] += cdf[k-1]
+	}
+	return cdf
+}
+
+// static check that pbinom.Dist satisfies Dist.
+var _ Dist = pbinom.Dist{}

@@ -1,0 +1,45 @@
+package adversary
+
+// XMatrix materializes the full n x (maxOmega+1) matrix X_v(ω)
+// (paper Table 1, left). Intended for small graphs, worked examples and
+// tests; the production path streams columns via ColumnEntropies.
+func XMatrix(m Model, maxOmega int) [][]float64 {
+	n := m.NumVertices()
+	x := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		row := make([]float64, maxOmega+1)
+		d := m.VertexX(v)
+		for w := 0; w <= maxOmega; w++ {
+			row[w] = d.Prob(w)
+		}
+		x[v] = row
+	}
+	return x
+}
+
+// YMatrix normalizes each column of an X matrix into the belief
+// distributions Y_ω(v) (paper Eq. 3, Table 1 right). Columns with zero
+// mass are left all-zero.
+func YMatrix(x [][]float64) [][]float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	cols := len(x[0])
+	sums := make([]float64, cols)
+	for _, row := range x {
+		for w, p := range row {
+			sums[w] += p
+		}
+	}
+	y := make([][]float64, len(x))
+	for v, row := range x {
+		out := make([]float64, cols)
+		for w, p := range row {
+			if sums[w] > 0 {
+				out[w] = p / sums[w]
+			}
+		}
+		y[v] = out
+	}
+	return y
+}

@@ -1,0 +1,171 @@
+// Package anf implements HyperANF (Boldi–Rosa–Vigna, WWW'11): an
+// estimator of the neighbourhood function N(t) — the number of ordered
+// vertex pairs within distance t — using one HyperLogLog counter per
+// vertex, iteratively unioned over neighbourhoods until stabilization.
+//
+// The paper uses HyperANF to compute the distance-based statistics of
+// §6.3 on each sampled possible world, repeating runs and jackknifing
+// to bound the estimation error. DistanceDistribution and Jackknifed
+// reproduce that pipeline.
+package anf
+
+import (
+	"runtime"
+	"sync"
+
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/hll"
+	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/stats"
+)
+
+// Options configures a HyperANF run.
+type Options struct {
+	// Bits is the per-counter register exponent (m = 2^Bits registers);
+	// 0 selects 7 (m = 128, ~9% per-counter RSD, far smaller after
+	// summing over vertices).
+	Bits int
+	// MaxIter caps the number of BFS-like iterations; 0 selects 256.
+	MaxIter int
+	// Seed decorrelates the hash functions of repeated runs.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bits == 0 {
+		o.Bits = 7
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 256
+	}
+	return o
+}
+
+// NeighbourhoodFunction estimates N(t) for t = 0, 1, ... until no
+// counter changes (or MaxIter). N(0) = n; N(t) counts ordered pairs
+// (u, v) with dist(u,v) <= t, including u = v.
+func NeighbourhoodFunction(g *graph.Graph, opt Options) []float64 {
+	opt = opt.withDefaults()
+	n := g.NumVertices()
+	cur := make([]hll.Counter, n)
+	next := make([]hll.Counter, n)
+	for v := 0; v < n; v++ {
+		cur[v] = hll.New(opt.Bits)
+		cur[v].AddHash(hll.Hash64(uint64(v), opt.Seed))
+		next[v] = hll.New(opt.Bits)
+	}
+	nf := []float64{sumEstimates(cur)}
+	for t := 1; t <= opt.MaxIter; t++ {
+		changed := iterate(g, cur, next)
+		cur, next = next, cur
+		nf = append(nf, sumEstimates(cur))
+		if !changed {
+			break
+		}
+	}
+	return nf
+}
+
+// iterate computes next[v] = cur[v] ∪ (∪_{u ~ v} cur[u]) for all v in
+// parallel and reports whether any counter changed.
+func iterate(g *graph.Graph, cur, next []hll.Counter) bool {
+	n := g.NumVertices()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	changedBy := make([]bool, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				// Start from the previous value of v's counter.
+				copyRegisters(next[v], cur[v])
+				changed := false
+				for _, u := range g.Neighbors(v) {
+					if next[v].Union(cur[u]) {
+						changed = true
+					}
+				}
+				if changed {
+					changedBy[w] = true
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, c := range changedBy {
+		if c {
+			return true
+		}
+	}
+	return false
+}
+
+func copyRegisters(dst, src hll.Counter) {
+	dst.CopyFrom(src)
+}
+
+func sumEstimates(counters []hll.Counter) float64 {
+	var sum float64
+	for _, c := range counters {
+		sum += c.Estimate()
+	}
+	return sum
+}
+
+// DistanceDistribution converts a HyperANF run into the S_PDD shape:
+// Counts[d] ~ (N(d) - N(d-1))/2 unordered pairs at distance d (negative
+// increments from estimation noise are clamped to zero), and
+// Disconnected = C(n,2) - connected. The distribution's Diameter() is
+// the paper's lower bound S_DiamLB.
+func DistanceDistribution(g *graph.Graph, opt Options) stats.DistanceDistribution {
+	nf := NeighbourhoodFunction(g, opt)
+	n := float64(g.NumVertices())
+	counts := make([]float64, len(nf))
+	var connected float64
+	for d := 1; d < len(nf); d++ {
+		inc := (nf[d] - nf[d-1]) / 2
+		if inc < 0 {
+			inc = 0
+		}
+		counts[d] = inc
+		connected += inc
+	}
+	total := n * (n - 1) / 2
+	disconnected := total - connected
+	if disconnected < 0 {
+		disconnected = 0
+	}
+	return stats.DistanceDistribution{Counts: counts, Disconnected: disconnected}
+}
+
+// Jackknifed runs HyperANF `runs` times with different hash seeds,
+// derives a scalar statistic from each run's distance distribution, and
+// returns the jackknife estimate and standard error — the paper's §6.3
+// error-control procedure.
+func Jackknifed(g *graph.Graph, opt Options, runs int, stat func(stats.DistanceDistribution) float64) (estimate, stderr float64) {
+	if runs < 1 {
+		runs = 1
+	}
+	vals := make([]float64, runs)
+	for r := 0; r < runs; r++ {
+		o := opt
+		o.Seed = opt.Seed + uint64(r)*0x5DEECE66D + 1
+		vals[r] = stat(DistanceDistribution(g, o))
+	}
+	return mathx.Jackknife(vals, func(xs []float64) float64 {
+		m, _ := mathx.MeanStd(xs)
+		return m
+	})
+}

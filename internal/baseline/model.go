@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"sync"
+
+	"uncertaingraph/internal/adversary"
+	"uncertaingraph/internal/mathx"
+)
+
+// transitionModel is the shared adversary implementation for both
+// mechanisms: X_u(ω) depends only on the *published* degree of u, via a
+// per-ω distribution over published degrees. Columns are prepared in
+// bulk (one transition PMF per requested ω) and vertex lookups are then
+// lock-free reads.
+type transitionModel struct {
+	pubDegrees []int
+	// column maps an original degree ω to the PMF of the published
+	// degree under the mechanism.
+	column map[int][]float64
+	// pmfFor computes that PMF for a given ω.
+	pmfFor func(omega int) []float64
+	mu     sync.Mutex
+}
+
+// NumVertices implements adversary.Model.
+func (m *transitionModel) NumVertices() int { return len(m.pubDegrees) }
+
+// Prepare implements adversary.Preparer: it computes the transition PMF
+// of every requested original degree once.
+func (m *transitionModel) Prepare(omegas []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range omegas {
+		if _, ok := m.column[w]; !ok {
+			m.column[w] = m.pmfFor(w)
+		}
+	}
+}
+
+// vertexDist evaluates X_u(ω) = P(published degree | original ω).
+type vertexDist struct {
+	m   *transitionModel
+	pub int
+}
+
+// Prob implements adversary.Dist. ω values not covered by Prepare are
+// computed on demand under the model lock (slow path, used only by
+// direct probing in tests and examples).
+func (d vertexDist) Prob(omega int) float64 {
+	if omega < 0 {
+		return 0
+	}
+	pmf, ok := d.m.column[omega]
+	if !ok {
+		d.m.Prepare([]int{omega})
+		pmf = d.m.column[omega]
+	}
+	if d.pub >= len(pmf) {
+		return 0
+	}
+	return pmf[d.pub]
+}
+
+// VertexX implements adversary.Model.
+func (m *transitionModel) VertexX(v int) adversary.Dist {
+	return vertexDist{m: m, pub: m.pubDegrees[v]}
+}
+
+// NewSparsifyModel returns the adversary model for a graph published by
+// Sparsify(g, p): a vertex of original degree ω has published degree
+// Binomial(ω, 1-p).
+func NewSparsifyModel(published interface{ Degrees() []int }, p float64) adversary.Model {
+	m := &transitionModel{
+		pubDegrees: published.Degrees(),
+		column:     make(map[int][]float64),
+	}
+	m.pmfFor = func(omega int) []float64 {
+		return mathx.BinomialPMF(omega, 1-p)
+	}
+	return m
+}
+
+// NewPerturbModel returns the adversary model for a graph published by
+// Perturb(g, p): published degree = Binomial(ω, 1-p) + Binomial(n-1-ω,
+// padd), the survivals of the ω original edges plus additions among the
+// n-1-ω non-neighbors. padd must be AddProbability(original, p); n is
+// the vertex count.
+func NewPerturbModel(published interface{ Degrees() []int }, n int, p, padd float64) adversary.Model {
+	m := &transitionModel{
+		pubDegrees: published.Degrees(),
+		column:     make(map[int][]float64),
+	}
+	m.pmfFor = func(omega int) []float64 {
+		if omega > n-1 {
+			omega = n - 1
+		}
+		kept := mathx.BinomialPMF(omega, 1-p)
+		// The additions PMF has negligible mass beyond a few standard
+		// deviations above its small mean; truncate to keep the
+		// convolution cheap on large n.
+		add := truncatedBinomialPMF(n-1-omega, padd)
+		return mathx.Convolve(kept, add)
+	}
+	return m
+}
+
+// truncatedBinomialPMF returns the Binomial(n, p) PMF truncated to the
+// smallest prefix holding all but ~1e-12 of the mass; for the tiny padd
+// of random perturbation this is a few dozen entries instead of n.
+func truncatedBinomialPMF(n int, p float64) []float64 {
+	if n <= 0 || p <= 0 {
+		return []float64{1}
+	}
+	full := mathx.BinomialPMF(n, p)
+	var cum float64
+	for i, v := range full {
+		cum += v
+		if cum >= 1-1e-12 {
+			return full[:i+1]
+		}
+	}
+	return full
+}

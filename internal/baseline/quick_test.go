@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uncertaingraph/internal/gen"
+)
+
+// Property: every transition column is a probability distribution over
+// published degrees, for both mechanisms and arbitrary parameters.
+func TestQuickTransitionColumnsAreDistributions(t *testing.T) {
+	f := func(seed int64, rawP float64, rawOmega uint8) bool {
+		p := math.Mod(math.Abs(rawP), 0.98) + 0.01
+		omega := int(rawOmega % 60)
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyiGNM(rng, 80, 300)
+		pub := Sparsify(g, p, rng)
+
+		// Sparsification: Binomial(omega, 1-p) over published degrees.
+		sm := NewSparsifyModel(pub, p)
+		if sum := columnMass(sm, omega); math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		// Perturbation: convolution of survivals and (truncated)
+		// additions; truncation may shave ~1e-12 of mass.
+		pm := NewPerturbModel(pub, 80, p, AddProbability(g, p))
+		sum := columnMass(pm, omega)
+		return sum <= 1+1e-9 && sum >= 1-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// columnMass sums Pr(published degree = d | original = omega) over all
+// possible published degrees by probing the prepared transition PMF.
+func columnMass(m interface{}, omega int) float64 {
+	tm := m.(*transitionModel)
+	tm.Prepare([]int{omega})
+	var sum float64
+	for _, v := range tm.column[omega] {
+		sum += v
+	}
+	return sum
+}
+
+// Property: under sparsification the published degree never exceeds the
+// original: Prob(omega) must be zero whenever omega < published degree.
+func TestQuickSparsifyMonotoneSupport(t *testing.T) {
+	f := func(seed int64, rawP float64) bool {
+		p := math.Mod(math.Abs(rawP), 0.9) + 0.05
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyiGNM(rng, 60, 250)
+		pub := Sparsify(g, p, rng)
+		m := NewSparsifyModel(pub, p)
+		for v := 0; v < 60; v += 7 {
+			d := pub.Degree(v)
+			x := m.VertexX(v)
+			for omega := 0; omega < d; omega++ {
+				if x.Prob(omega) != 0 {
+					return false
+				}
+			}
+			if d <= 59 && x.Prob(d) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+)
+
+func log1p(x float64) float64 { return math.Log1p(x) }
+
+// geometric returns a Geometric(p) sample (failures before first
+// success) given lnq = ln(1-p).
+func geometric(rng *rand.Rand, lnq float64) int {
+	if lnq == 0 {
+		return math.MaxInt32
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int(math.Log(u) / lnq)
+}
+
+// pairFromIndex maps a lexicographic pair index to (u, v), u < v.
+func pairFromIndex(idx, n int) (int, int) {
+	u := 0
+	rowLen := n - 1
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + idx
+}

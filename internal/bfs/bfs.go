@@ -1,0 +1,143 @@
+// Package bfs computes exact shortest-path distance distributions by
+// breadth-first search. It is the validation oracle for the HyperANF
+// estimator (internal/anf) and the exact path for the small and
+// mid-sized graphs used in tests, examples and scaled-down experiments.
+package bfs
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/stats"
+)
+
+// FromSource returns the distances from src to every vertex (-1 for
+// unreachable vertices).
+func FromSource(g *graph.Graph, src int) []int {
+	n := g.NumVertices()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// DistanceDistribution returns the exact distribution of pairwise
+// distances by running a BFS from every vertex (O(n*m) time), counting
+// each unordered pair once. Sources are processed in parallel.
+func DistanceDistribution(g *graph.Graph) stats.DistanceDistribution {
+	n := g.NumVertices()
+	sources := make([]int, n)
+	for i := range sources {
+		sources[i] = i
+	}
+	counts, reachable := scan(g, sources)
+	// Ordered counts halve to unordered; every pair was seen twice.
+	for i := range counts {
+		counts[i] /= 2
+	}
+	totalPairs := float64(n) * float64(n-1) / 2
+	return stats.DistanceDistribution{
+		Counts:       counts,
+		Disconnected: totalPairs - reachable/2,
+	}
+}
+
+// SampledDistanceDistribution estimates the distance distribution from
+// BFS trees of `samples` uniformly chosen sources (the sampling
+// approach of Lipton–Naughton cited in §6.3), scaling ordered counts by
+// n/samples. With samples >= n it falls back to the exact computation.
+func SampledDistanceDistribution(g *graph.Graph, samples int, rng *rand.Rand) stats.DistanceDistribution {
+	n := g.NumVertices()
+	if samples >= n {
+		return DistanceDistribution(g)
+	}
+	perm := rng.Perm(n)[:samples]
+	counts, reachable := scan(g, perm)
+	scale := float64(n) / float64(samples) / 2
+	for i := range counts {
+		counts[i] *= scale
+	}
+	totalPairs := float64(n) * float64(n-1) / 2
+	disconnected := totalPairs - reachable*scale
+	if disconnected < 0 {
+		disconnected = 0
+	}
+	return stats.DistanceDistribution{Counts: counts, Disconnected: disconnected}
+}
+
+// scan runs BFS from each source and accumulates ordered distance
+// counts (source, other) and the number of ordered reachable pairs.
+func scan(g *graph.Graph, sources []int) (counts []float64, reachable float64) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type result struct {
+		counts    []float64
+		reachable float64
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	chunk := (len(sources) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make([]float64, 0, 64)
+			var reach float64
+			for _, src := range sources[lo:hi] {
+				for _, d := range FromSource(g, src) {
+					if d <= 0 {
+						continue
+					}
+					for d >= len(local) {
+						local = append(local, 0)
+					}
+					local[d]++
+					reach++
+				}
+			}
+			results[w] = result{counts: local, reachable: reach}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, r := range results {
+		for d, c := range r.counts {
+			for d >= len(counts) {
+				counts = append(counts, 0)
+			}
+			counts[d] += c
+		}
+		reachable += r.reachable
+	}
+	if counts == nil {
+		counts = []float64{0}
+	}
+	return counts, reachable
+}

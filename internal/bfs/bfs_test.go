@@ -1,0 +1,109 @@
+package bfs
+
+import (
+	"math"
+	"testing"
+
+	"uncertaingraph/internal/gen"
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/randx"
+)
+
+func TestFromSourcePath(t *testing.T) {
+	// 0-1-2-3 path.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	d := FromSource(g, 0)
+	want := []int{0, 1, 2, 3}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Errorf("dist(0,%d) = %d, want %d", v, d[v], want[v])
+		}
+	}
+}
+
+func TestFromSourceUnreachable(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}})
+	d := FromSource(g, 0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Errorf("unreachable vertices should be -1, got %v", d)
+	}
+}
+
+func TestDistanceDistributionPath(t *testing.T) {
+	// Path on 4 vertices: distances 1x3, 2x2, 3x1.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	d := DistanceDistribution(g)
+	want := []float64{0, 3, 2, 1}
+	for dist := 1; dist < len(want); dist++ {
+		if d.Counts[dist] != want[dist] {
+			t.Errorf("count(%d) = %v, want %v", dist, d.Counts[dist], want[dist])
+		}
+	}
+	if d.Disconnected != 0 {
+		t.Errorf("Disconnected = %v, want 0", d.Disconnected)
+	}
+	if d.Diameter() != 3 {
+		t.Errorf("Diameter = %d, want 3", d.Diameter())
+	}
+}
+
+func TestDistanceDistributionDisconnected(t *testing.T) {
+	// Two disjoint edges on 4 vertices: 2 pairs at distance 1, 4
+	// disconnected pairs.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	d := DistanceDistribution(g)
+	if d.Counts[1] != 2 {
+		t.Errorf("count(1) = %v, want 2", d.Counts[1])
+	}
+	if d.Disconnected != 4 {
+		t.Errorf("Disconnected = %v, want 4", d.Disconnected)
+	}
+	if d.TotalPairs() != 6 {
+		t.Errorf("TotalPairs = %v, want 6", d.TotalPairs())
+	}
+}
+
+func TestDistanceDistributionCompleteGraph(t *testing.T) {
+	g := gen.ErdosRenyiGNP(randx.New(1), 20, 1)
+	d := DistanceDistribution(g)
+	if d.Counts[1] != 190 || d.Diameter() != 1 {
+		t.Errorf("K20: counts %v", d.Counts)
+	}
+}
+
+func TestSampledApproximatesExact(t *testing.T) {
+	g := gen.HolmeKim(randx.New(2), 800, 3, 0.3)
+	exact := DistanceDistribution(g)
+	sampled := SampledDistanceDistribution(g, 200, randx.New(3))
+	// Average distance from a quarter of sources should be close.
+	if math.Abs(exact.AvgDistance()-sampled.AvgDistance()) > 0.15*exact.AvgDistance() {
+		t.Errorf("APD exact %v vs sampled %v", exact.AvgDistance(), sampled.AvgDistance())
+	}
+	// Total pair mass approximately preserved by scaling.
+	if math.Abs(exact.ConnectedPairs()-sampled.ConnectedPairs()) > 0.1*exact.ConnectedPairs() {
+		t.Errorf("connected pairs exact %v vs sampled %v", exact.ConnectedPairs(), sampled.ConnectedPairs())
+	}
+}
+
+func TestSampledFallsBackToExact(t *testing.T) {
+	g := gen.ErdosRenyiGNM(randx.New(4), 50, 120)
+	a := DistanceDistribution(g)
+	b := SampledDistanceDistribution(g, 50, randx.New(5))
+	for d := range a.Counts {
+		if a.Counts[d] != b.Counts[d] {
+			t.Fatal("samples >= n should be exact")
+		}
+	}
+}
+
+func TestDistanceDistributionMatchesHandCount(t *testing.T) {
+	// Star graph: center at distance 1 from k leaves; leaves pairwise 2.
+	g := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}})
+	d := DistanceDistribution(g)
+	if d.Counts[1] != 4 || d.Counts[2] != 6 {
+		t.Errorf("star counts = %v, want [_, 4, 6]", d.Counts)
+	}
+	if got := d.AvgDistance(); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("star APD = %v, want 1.6", got)
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"uncertaingraph/internal/adversary"
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/randx"
+	"uncertaingraph/internal/uncertain"
+)
+
+// Params collects the inputs of Algorithms 1 and 2 with the paper's
+// experimental defaults.
+type Params struct {
+	// K is the obfuscation level k >= 1 (paper uses 20, 60, 100).
+	K float64
+	// Eps is the tolerated fraction of non-obfuscated vertices
+	// (paper uses 1e-3 and 1e-4).
+	Eps float64
+	// C is the candidate-set multiplier: |E_C| = C*|E| (zero selects
+	// the paper's 2; their fallback cases use 3). Values below 1 are
+	// raised to 1.
+	C float64
+	// Q is the white-noise fraction: each candidate pair draws its
+	// perturbation uniformly from [0,1] with this probability
+	// (paper: 0.01).
+	Q float64
+	// Trials is the number t of attempts per GenerateObfuscation call
+	// (paper: 5). Zero selects 5.
+	Trials int
+	// Delta terminates the binary search once the σ interval is shorter
+	// than this (zero selects 1e-8, matching the resolution implied by
+	// the paper's reported σ values).
+	Delta float64
+	// SigmaInit is the initial upper bound of the search (zero selects
+	// the paper's 1).
+	SigmaInit float64
+	// MaxSigma aborts the doubling phase when σ_u exceeds it (zero
+	// selects 1024).
+	MaxSigma float64
+	// ExactThreshold is the incident-pair count up to which the degree
+	// distribution is computed by the exact DP (<= 0 selects
+	// pbinom.DefaultExactThreshold).
+	ExactThreshold int
+	// Property scores vertex uniqueness; nil selects DegreeProperty.
+	Property Property
+	// DisableHExclusion skips line 2 of Algorithm 2 (the removal of the
+	// ⌈ε/2·n⌉ most unique vertices from the perturbation): an ablation
+	// knob showing why spending noise on hopeless hubs wastes the
+	// budget. Off (false) reproduces the paper.
+	DisableHExclusion bool
+	// Rng drives every random choice; nil selects a fixed-seed source so
+	// runs are reproducible by default.
+	Rng *rand.Rand
+}
+
+func (p Params) withDefaults() Params {
+	if p.C == 0 {
+		p.C = 2
+	}
+	if p.C < 1 {
+		p.C = 1
+	}
+	if p.Trials <= 0 {
+		p.Trials = 5
+	}
+	if p.Delta <= 0 {
+		p.Delta = 1e-8
+	}
+	if p.SigmaInit <= 0 {
+		p.SigmaInit = 1
+	}
+	if p.MaxSigma <= 0 {
+		p.MaxSigma = 1024
+	}
+	if p.Property == nil {
+		p.Property = DegreeProperty{}
+	}
+	if p.Rng == nil {
+		p.Rng = randx.New(1)
+	}
+	return p
+}
+
+// Attempt is the outcome of one GenerateObfuscation call.
+type Attempt struct {
+	// EpsTilde is the achieved fraction of non-k-obfuscated vertices;
+	// math.Inf(1) when no trial met the ε bound.
+	EpsTilde float64
+	// G is the best uncertain graph found, nil on failure.
+	G *uncertain.Graph
+}
+
+// Failed reports whether the attempt found no (k, ε)-obfuscation.
+func (a Attempt) Failed() bool { return math.IsInf(a.EpsTilde, 1) }
+
+// GenerateObfuscation is Algorithm 2: it tries (up to t times) to build
+// a (k, ε)-obfuscation of g with uncertainty parameter sigma, returning
+// the best attempt.
+func GenerateObfuscation(g *graph.Graph, sigma float64, params Params) Attempt {
+	params = params.withDefaults()
+	n := g.NumVertices()
+	values := params.Property.Values(g)
+	dist := params.Property.Distance
+
+	// Line 1: σ-uniqueness of every vertex (θ = σ, Section 5.2).
+	uniq := UniquenessScores(values, dist, sigma)
+
+	// Line 2: exclude the ⌈ε/2·n⌉ most unique vertices from perturbation.
+	hSize := int(math.Ceil(params.Eps / 2 * float64(n)))
+	if params.DisableHExclusion {
+		hSize = 0
+	}
+	inH := topUniqueSet(uniq, hSize)
+
+	// Line 3: sampling distribution Q(v) ∝ U_σ(P(v)) on V \ H.
+	weights := make([]float64, n)
+	for v, u := range uniq {
+		if !inH[v] {
+			weights[v] = u
+		}
+	}
+	aliasQ := randx.NewAlias(weights)
+
+	best := Attempt{EpsTilde: math.Inf(1)}
+	if aliasQ == nil {
+		// All mass excluded (tiny graphs with large ε) — cannot sample.
+		return best
+	}
+
+	degrees := g.Degrees()
+	targetEC := int(math.Round(params.C * float64(g.NumEdges())))
+	if max := n * (n - 1) / 2; targetEC > max {
+		targetEC = max
+	}
+
+	for trial := 0; trial < params.Trials; trial++ {
+		ec, ok := selectCandidates(g, aliasQ, inH, targetEC, params.Rng)
+		if !ok {
+			continue
+		}
+		pairs := assignProbabilities(ec, values, uniq, sigma, params, g)
+		ug, err := uncertain.New(n, pairs)
+		if err != nil {
+			// Candidate construction guarantees validity; a failure here
+			// is a programming error worth surfacing loudly.
+			panic(err)
+		}
+		// Line 20: fraction of vertices not k-obfuscated.
+		model := adversary.UncertainModel{G: ug, ExactThreshold: params.ExactThreshold}
+		epsPrime := adversary.NotObfuscatedFraction(model, degrees, params.K)
+		// Line 21.
+		if epsPrime <= params.Eps && epsPrime < best.EpsTilde {
+			best = Attempt{EpsTilde: epsPrime, G: ug}
+		}
+	}
+	return best
+}
+
+// candidate is one pair of E_C, flagged by whether it is an original edge.
+type candidate struct {
+	u, v   int32
+	isEdge bool
+}
+
+// selectCandidates implements lines 6-12 of Algorithm 2: E_C starts as E;
+// pairs drawn from Q×Q are removed from E_C when they are original edges
+// and added when they are non-edges, until |E_C| = target.
+func selectCandidates(g *graph.Graph, aliasQ *randx.Alias, inH map[int]bool, target int, rng *rand.Rand) ([]candidate, bool) {
+	n := g.NumVertices()
+	ec := make([]candidate, 0, target+16)
+	index := make(map[int64]int32, target+16)
+	g.ForEachEdge(func(u, v int) {
+		index[graph.PairKey(u, v, n)] = int32(len(ec))
+		ec = append(ec, candidate{u: int32(u), v: int32(v), isEdge: true})
+	})
+	// Give up after a generous number of draws; with c a small constant
+	// and |E| << |V2| the loop normally ends after ~(c-1)|E| additions.
+	maxDraws := 400*(target+16) + 4096
+	for draws := 0; len(ec) != target; draws++ {
+		if draws > maxDraws {
+			return nil, false
+		}
+		u := aliasQ.Draw(rng)
+		v := aliasQ.Draw(rng)
+		if u == v || inH[u] || inH[v] {
+			continue
+		}
+		key := graph.PairKey(u, v, n)
+		if g.HasEdge(u, v) {
+			// Line 10: remove the original edge from E_C if still there.
+			if pos, ok := index[key]; ok {
+				last := int32(len(ec) - 1)
+				moved := ec[last]
+				ec[pos] = moved
+				index[graph.PairKey(int(moved.u), int(moved.v), n)] = pos
+				ec = ec[:last]
+				delete(index, key)
+			}
+		} else {
+			// Line 11: add the non-edge if new.
+			if _, ok := index[key]; !ok {
+				index[key] = int32(len(ec))
+				uu, vv := u, v
+				if uu > vv {
+					uu, vv = vv, uu
+				}
+				ec = append(ec, candidate{u: int32(uu), v: int32(vv), isEdge: false})
+			}
+		}
+	}
+	return ec, true
+}
+
+// assignProbabilities implements lines 13-19: redistribute σ over E_C in
+// proportion to pair uniqueness (Eq. 7), draw perturbations r_e from
+// R_σ(e) (or uniformly, for the q white-noise fraction), and convert
+// them to edge probabilities.
+func assignProbabilities(ec []candidate, values []int, uniq []float64, sigma float64, params Params, g *graph.Graph) []uncertain.Pair {
+	// U_σ(e) = (U_σ(P(u)) + U_σ(P(v))) / 2; Eq. 7 scales so the mean of
+	// σ(e) over E_C equals σ.
+	pairUniq := make([]float64, len(ec))
+	var total float64
+	for i, c := range ec {
+		pairUniq[i] = (uniq[c.u] + uniq[c.v]) / 2
+		total += pairUniq[i]
+	}
+	pairs := make([]uncertain.Pair, len(ec))
+	for i, c := range ec {
+		sigmaE := 0.0
+		if total > 0 {
+			sigmaE = sigma * float64(len(ec)) * pairUniq[i] / total
+		}
+		var re float64
+		if params.Q > 0 && params.Rng.Float64() < params.Q {
+			re = params.Rng.Float64()
+		} else {
+			re = mathx.NewTruncNormal(sigmaE).Sample(params.Rng)
+		}
+		p := re
+		if c.isEdge {
+			p = 1 - re
+		}
+		pairs[i] = uncertain.Pair{U: int(c.u), V: int(c.v), P: p}
+	}
+	return pairs
+}
+
+// topUniqueSet returns the indices of the count largest uniqueness
+// scores (ties broken by lower index, making runs reproducible).
+func topUniqueSet(uniq []float64, count int) map[int]bool {
+	set := make(map[int]bool, count)
+	if count <= 0 {
+		return set
+	}
+	if count > len(uniq) {
+		count = len(uniq)
+	}
+	idx := make([]int, len(uniq))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if uniq[idx[a]] != uniq[idx[b]] {
+			return uniq[idx[a]] > uniq[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	for _, v := range idx[:count] {
+		set[v] = true
+	}
+	return set
+}

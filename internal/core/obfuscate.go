@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/uncertain"
+)
+
+// Result is the output of Algorithm 1.
+type Result struct {
+	// G is the published (k, ε̃)-obfuscation.
+	G *uncertain.Graph
+	// Sigma is the smallest noise level at which an obfuscation was
+	// found (the value reported in paper Table 2).
+	Sigma float64
+	// EpsTilde is the achieved non-obfuscated fraction (ε̃ <= ε).
+	EpsTilde float64
+	// Generations counts GenerateObfuscation invocations, and Trials the
+	// total number of inner attempts — the work measure behind the
+	// paper's Table 3 throughput.
+	Generations int
+	Trials      int
+}
+
+// ErrNoObfuscation is returned when the doubling phase exhausts MaxSigma
+// without finding any (k, ε)-obfuscation; the paper's remedy is to raise
+// the candidate multiplier c (their two (*) cases use c = 3).
+var ErrNoObfuscation = errors.New("core: no (k,eps)-obfuscation found up to MaxSigma; consider increasing C")
+
+// Obfuscate is Algorithm 1: it finds, by binary search over the noise
+// parameter σ, a minimal-uncertainty (k, ε)-obfuscation of g.
+func Obfuscate(g *graph.Graph, params Params) (*Result, error) {
+	params = params.withDefaults()
+	if params.K < 1 {
+		return nil, fmt.Errorf("core: k = %v must be >= 1", params.K)
+	}
+	if params.Eps < 0 || params.Eps >= 1 {
+		return nil, fmt.Errorf("core: eps = %v must be in [0, 1)", params.Eps)
+	}
+	if g.NumEdges() == 0 {
+		return nil, errors.New("core: graph has no edges to obfuscate")
+	}
+
+	res := &Result{EpsTilde: math.Inf(1)}
+	run := func(sigma float64) Attempt {
+		res.Generations++
+		res.Trials += params.Trials
+		return GenerateObfuscation(g, sigma, params)
+	}
+
+	// Doubling phase (lines 1-6): find a feasible upper bound σ_u.
+	sigmaU := params.SigmaInit
+	var found Attempt
+	for {
+		found = run(sigmaU)
+		if !found.Failed() {
+			break
+		}
+		sigmaU *= 2
+		if sigmaU > params.MaxSigma {
+			return nil, ErrNoObfuscation
+		}
+	}
+	res.G, res.Sigma, res.EpsTilde = found.G, sigmaU, found.EpsTilde
+
+	// Binary search (lines 8-12) on [0, σ_u], keeping the last success.
+	sigmaL := 0.0
+	for sigmaL+params.Delta < sigmaU {
+		sigma := (sigmaL + sigmaU) / 2
+		attempt := run(sigma)
+		if attempt.Failed() {
+			sigmaL = sigma
+		} else {
+			sigmaU = sigma
+			res.G, res.Sigma, res.EpsTilde = attempt.G, sigma, attempt.EpsTilde
+		}
+	}
+	return res, nil
+}

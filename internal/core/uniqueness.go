@@ -1,0 +1,58 @@
+package core
+
+import (
+	"uncertaingraph/internal/mathx"
+)
+
+// thetaExactCutoff: below this θ the Gaussian kernel is effectively an
+// indicator at distance zero, so commonness degenerates to the count of
+// vertices sharing the value; computing it that way avoids overflow of
+// the 1/θ density prefactor.
+const thetaExactCutoff = 1e-12
+
+// CommonnessScores returns the θ-commonness C_θ(ω) (Definition 3) for
+// each distinct property value, as a map from value to commonness:
+//
+//	C_θ(ω) = Σ_v φ_{0,θ}(d(ω, P(v))).
+//
+// values are the per-vertex property values; dist the metric on Ω_P.
+// Only values present in the graph are returned — the paper evaluates
+// commonness exactly at those points.
+func CommonnessScores(values []int, dist func(a, b int) float64, theta float64) map[int]float64 {
+	// Histogram over distinct values: the sum over vertices groups into
+	// a sum over distinct values weighted by multiplicity.
+	counts := make(map[int]int, 64)
+	for _, v := range values {
+		counts[v]++
+	}
+	out := make(map[int]float64, len(counts))
+	if theta < thetaExactCutoff {
+		// Degenerate kernel: only exact matches contribute; the common
+		// positive prefactor is irrelevant because commonness is used as
+		// a relative measure.
+		for w, c := range counts {
+			out[w] = float64(c)
+		}
+		return out
+	}
+	for w := range counts {
+		var sum float64
+		for wp, c := range counts {
+			sum += float64(c) * mathx.NormalPDF(dist(w, wp), 0, theta)
+		}
+		out[w] = sum
+	}
+	return out
+}
+
+// UniquenessScores returns U_θ(P(v)) = 1/C_θ(P(v)) for every vertex
+// (Definition 3): how atypical each vertex's property value is, hence
+// how much uncertainty it needs to blend in.
+func UniquenessScores(values []int, dist func(a, b int) float64, theta float64) []float64 {
+	common := CommonnessScores(values, dist, theta)
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = 1 / common[v]
+	}
+	return out
+}

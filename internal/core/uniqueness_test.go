@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/mathx"
+)
+
+func degDist(a, b int) float64 { return DegreeProperty{}.Distance(a, b) }
+
+func TestCommonnessDegenerateThetaCountsMatches(t *testing.T) {
+	values := []int{1, 1, 1, 2, 5}
+	c := CommonnessScores(values, degDist, 0)
+	if c[1] != 3 || c[2] != 1 || c[5] != 1 {
+		t.Errorf("degenerate commonness = %v", c)
+	}
+}
+
+func TestCommonnessGaussianWeighting(t *testing.T) {
+	values := []int{0, 10}
+	theta := 2.0
+	c := CommonnessScores(values, degDist, theta)
+	want0 := mathx.NormalPDF(0, 0, theta) + mathx.NormalPDF(10, 0, theta)
+	if math.Abs(c[0]-want0) > 1e-15 {
+		t.Errorf("C(0) = %v, want %v", c[0], want0)
+	}
+	// Symmetric situation: both values equally common.
+	if math.Abs(c[0]-c[10]) > 1e-15 {
+		t.Errorf("C(0)=%v != C(10)=%v", c[0], c[10])
+	}
+}
+
+func TestCommonnessMultiplicityWeighting(t *testing.T) {
+	// Value 3 appears twice; its contribution to any commonness doubles.
+	a := CommonnessScores([]int{3, 7}, degDist, 1.5)
+	b := CommonnessScores([]int{3, 3, 7}, degDist, 1.5)
+	phi0 := mathx.NormalPDF(0, 0, 1.5)
+	if math.Abs((b[7]-a[7])-mathx.NormalPDF(4, 0, 1.5)) > 1e-15 {
+		t.Errorf("extra copy of 3 should add phi(4) to C(7)")
+	}
+	if math.Abs((b[3]-a[3])-phi0) > 1e-15 {
+		t.Errorf("extra copy of 3 should add phi(0) to C(3)")
+	}
+}
+
+func TestUniquenessOrdering(t *testing.T) {
+	// A hub degree (one vertex at 50) must be far more unique than the
+	// crowd degree (many vertices at 3).
+	values := make([]int, 101)
+	for i := 0; i < 100; i++ {
+		values[i] = 3
+	}
+	values[100] = 50
+	u := UniquenessScores(values, degDist, 1.0)
+	if u[100] <= u[0] {
+		t.Errorf("hub uniqueness %v should exceed crowd uniqueness %v", u[100], u[0])
+	}
+	if u[100]/u[0] < 10 {
+		t.Errorf("uniqueness ratio %v suspiciously small", u[100]/u[0])
+	}
+	// All vertices with the same value share the same score.
+	for i := 1; i < 100; i++ {
+		if u[i] != u[0] {
+			t.Fatal("equal values must have equal uniqueness")
+		}
+	}
+}
+
+func TestUniquenessNearbyValuesRaiseCommonness(t *testing.T) {
+	// With a wide kernel, a value surrounded by near values is more
+	// common than an isolated one at the same multiplicity.
+	values := []int{10, 11, 12, 40}
+	u := UniquenessScores(values, degDist, 3.0)
+	if u[3] <= u[0] {
+		t.Errorf("isolated 40 (%v) should be more unique than 10 (%v)", u[3], u[0])
+	}
+}
+
+func TestDegreePropertyBasics(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	p := DegreeProperty{}
+	if p.Name() != "degree" {
+		t.Error("name")
+	}
+	vals := p.Values(g)
+	if vals[0] != 1 || vals[1] != 2 || vals[2] != 1 {
+		t.Errorf("values = %v", vals)
+	}
+	if p.Distance(3, 7) != 4 || p.Distance(7, 3) != 4 || p.Distance(5, 5) != 0 {
+		t.Error("distance")
+	}
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"uncertaingraph/internal/adversary"
+	"uncertaingraph/internal/anf"
+	"uncertaingraph/internal/baseline"
+	"uncertaingraph/internal/bfs"
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/randx"
+	"uncertaingraph/internal/sampling"
+	"uncertaingraph/internal/stats"
+	"uncertaingraph/internal/uncertain"
+)
+
+// FigureSeries is one boxplot series of Figures 2 or 3: per-coordinate
+// five-number summaries across sampled worlds, plus the original
+// graph's reference values (the red dots of the paper's plots).
+type FigureSeries struct {
+	// Title identifies the obfuscation setting, e.g. "dblp k=20 eps=0.02".
+	Title string
+	// Boxes[i] summarizes coordinate i (distance i for Figure 2, degree
+	// i for Figure 3) across worlds.
+	Boxes []sampling.Box
+	// Reference[i] is the original graph's value at coordinate i.
+	Reference []float64
+}
+
+// figureSettings returns the two (k, ε) pairs the paper plots: the
+// mildest (k=min, loose ε) and the harshest (k=max, strict ε).
+func (s *Suite) figureSettings() [2][2]float64 {
+	kLo, kHi := s.Opt.Ks[0], s.Opt.Ks[len(s.Opt.Ks)-1]
+	loose := s.Opt.Epsilons[0]
+	strict := s.Opt.Epsilons[len(s.Opt.Epsilons)-1]
+	return [2][2]float64{{kLo, loose}, {kHi, strict}}
+}
+
+// distanceFractions computes the S_PDD fractions of one certain graph.
+func (s *Suite) distanceFractions(g *graph.Graph, seed int64) []float64 {
+	var dd stats.DistanceDistribution
+	if s.Opt.Distances == sampling.DistanceExactBFS {
+		dd = bfs.DistanceDistribution(g)
+	} else {
+		dd = anf.DistanceDistribution(g, anf.Options{Seed: uint64(seed)})
+	}
+	return dd.Fractions()
+}
+
+// Figure2 reproduces paper Figure 2 on the dblp stand-in: the
+// distribution of pairwise distances, original vs obfuscated, at the
+// mild and harsh settings.
+func Figure2(s *Suite) ([]FigureSeries, error) {
+	d, err := s.Dataset("dblp")
+	if err != nil {
+		return nil, err
+	}
+	ref := s.distanceFractions(d.Graph, s.Opt.Seed)
+	var out []FigureSeries
+	for _, ke := range s.figureSettings() {
+		run, err := s.tryObfuscate("dblp", ke[0], ke[1])
+		if err != nil {
+			return nil, err
+		}
+		if run == nil {
+			continue
+		}
+		rows := sampling.RunVector(run.G, s.samplingConfig(3000+int64(ke[0])),
+			func(w *graph.Graph, seed int64) []float64 {
+				return s.distanceFractions(w, seed)
+			})
+		out = append(out, FigureSeries{
+			Title:     "dblp " + obfLabel(ke[0], ke[1]) + " S_PDD",
+			Boxes:     sampling.Boxes(rows),
+			Reference: ref,
+		})
+	}
+	return out, nil
+}
+
+// Figure3 reproduces paper Figure 3 on the dblp stand-in: the degree
+// distribution, original vs obfuscated, at the same two settings.
+func Figure3(s *Suite) ([]FigureSeries, error) {
+	d, err := s.Dataset("dblp")
+	if err != nil {
+		return nil, err
+	}
+	ref := stats.DegreeDistribution(d.Graph)
+	var out []FigureSeries
+	for _, ke := range s.figureSettings() {
+		run, err := s.tryObfuscate("dblp", ke[0], ke[1])
+		if err != nil {
+			return nil, err
+		}
+		if run == nil {
+			continue
+		}
+		rows := sampling.RunVector(run.G, s.samplingConfig(4000+int64(ke[0])),
+			func(w *graph.Graph, _ int64) []float64 {
+				return stats.DegreeDistribution(w)
+			})
+		out = append(out, FigureSeries{
+			Title:     "dblp " + obfLabel(ke[0], ke[1]) + " S_DD",
+			Boxes:     sampling.Boxes(rows),
+			Reference: ref,
+		})
+	}
+	return out, nil
+}
+
+// CDFSeries is one curve of Figure 4: the number of vertices whose
+// obfuscation level is at most k, for k = 0..MaxK.
+type CDFSeries struct {
+	Title string
+	CDF   []int
+}
+
+// Figure4MaxK is the largest anonymity level plotted (the paper's x
+// axis runs to ~90).
+const Figure4MaxK = 90
+
+// Figure4 reproduces paper Figure 4: anonymity-level CDFs of the
+// original graph, our obfuscations, and the matched random-perturbation
+// and sparsification baselines, on dblp and flickr.
+func Figure4(s *Suite) ([]CDFSeries, error) {
+	var out []CDFSeries
+	for _, name := range []string{"dblp", "flickr"} {
+		d, err := s.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		degrees := d.Graph.Degrees()
+
+		// Original graph: levels are crowd sizes.
+		orig := adversary.ObfuscationLevels(
+			adversary.UncertainModel{G: uncertain.FromCertain(d.Graph)}, degrees)
+		out = append(out, CDFSeries{
+			Title: name + " original",
+			CDF:   adversary.AnonymityCDF(orig, Figure4MaxK),
+		})
+
+		// Our obfuscations at the paper's plotted settings.
+		var settings []Table6Setting
+		for _, st := range Table6Settings(s) {
+			if st.Dataset == name {
+				settings = append(settings, st)
+			}
+		}
+		seen := map[string]bool{}
+		for _, st := range settings {
+			label := obfLabel(st.K, st.Eps)
+			if !seen[label] {
+				seen[label] = true
+				run, err := s.tryObfuscate(name, st.K, st.Eps)
+				if err != nil {
+					return nil, err
+				}
+				if run == nil {
+					continue
+				}
+				levels := adversary.ObfuscationLevels(
+					adversary.UncertainModel{G: run.G}, degrees)
+				out = append(out, CDFSeries{
+					Title: name + " " + label,
+					CDF:   adversary.AnonymityCDF(levels, Figure4MaxK),
+				})
+			}
+			// Matched baseline curve.
+			rng := randx.New(s.Opt.Seed + 777)
+			var m adversary.Model
+			if st.Method == "rand.spars." {
+				pub := baseline.Sparsify(d.Graph, st.P, rng)
+				m = baseline.NewSparsifyModel(pub, st.P)
+			} else {
+				pub := baseline.Perturb(d.Graph, st.P, rng)
+				m = baseline.NewPerturbModel(pub, d.Graph.NumVertices(), st.P,
+					baseline.AddProbability(d.Graph, st.P))
+			}
+			levels := adversary.ObfuscationLevels(m, degrees)
+			out = append(out, CDFSeries{
+				Title: name + " " + settingLabel(st),
+				CDF:   adversary.AnonymityCDF(levels, Figure4MaxK),
+			})
+		}
+	}
+	return out, nil
+}

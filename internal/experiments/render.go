@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"uncertaingraph/internal/sampling"
+)
+
+func kLabel(k float64) string { return fmt.Sprintf("k = %g", k) }
+
+func obfLabel(k, eps float64) string {
+	return fmt.Sprintf("obf. (k=%g, eps=%g)", k, eps)
+}
+
+func settingLabel(st Table6Setting) string {
+	return fmt.Sprintf("%s (p=%g)", st.Method, st.P)
+}
+
+// RenderTable2 formats Table 2 rows like the paper: dataset, k, and the
+// σ found per ε (a (*) marks c=3 fallbacks).
+func RenderTable2(s *Suite, runs []*ObfRun) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Table 2: minimal sigma for (k,eps)-obfuscation [scale=%s]\n", s.Opt.Scale)
+	fmt.Fprint(w, "dataset\tk")
+	for _, eps := range s.Opt.Epsilons {
+		fmt.Fprintf(w, "\teps = %g", eps)
+	}
+	fmt.Fprintln(w)
+	type key struct {
+		ds string
+		k  float64
+	}
+	cells := map[key]map[float64]*ObfRun{}
+	for _, r := range runs {
+		kk := key{r.Dataset, r.K}
+		if cells[kk] == nil {
+			cells[kk] = map[float64]*ObfRun{}
+		}
+		cells[kk][r.Eps] = r
+	}
+	for _, ds := range []string{"dblp", "flickr", "y360"} {
+		for _, k := range s.Opt.Ks {
+			row, ok := cells[key{ds, k}]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%g", ds, k)
+			for _, eps := range s.Opt.Epsilons {
+				if r, ok := row[eps]; ok {
+					star := ""
+					if r.C > s.Opt.C {
+						star = " (*)"
+					}
+					fmt.Fprintf(w, "\t%.4e%s", r.Sigma, star)
+				} else {
+					fmt.Fprint(w, "\t-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// RenderTable3 formats the throughput view (edges/sec) of the same runs.
+func RenderTable3(s *Suite, runs []*ObfRun) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Table 3: computation time in edges/sec [scale=%s]\n", s.Opt.Scale)
+	fmt.Fprint(w, "dataset\tk")
+	for _, eps := range s.Opt.Epsilons {
+		fmt.Fprintf(w, "\teps = %g", eps)
+	}
+	fmt.Fprintln(w)
+	type key struct {
+		ds string
+		k  float64
+	}
+	cells := map[key]map[float64]*ObfRun{}
+	for _, r := range runs {
+		kk := key{r.Dataset, r.K}
+		if cells[kk] == nil {
+			cells[kk] = map[float64]*ObfRun{}
+		}
+		cells[kk][r.Eps] = r
+	}
+	for _, ds := range []string{"dblp", "flickr", "y360"} {
+		for _, k := range s.Opt.Ks {
+			row, ok := cells[key{ds, k}]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%g", ds, k)
+			for _, eps := range s.Opt.Epsilons {
+				if r, ok := row[eps]; ok {
+					star := ""
+					if r.C > s.Opt.C {
+						star = " (*)"
+					}
+					fmt.Fprintf(w, "\t%.2f%s", r.EdgesPerSec, star)
+				} else {
+					fmt.Fprint(w, "\t-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// renderUtility renders Table 4/5/6-shaped rows.
+func renderUtility(title, lastCol string, rows []UtilityRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, title)
+	fmt.Fprint(w, "graph\t")
+	for _, name := range sampling.StatNames {
+		fmt.Fprintf(w, "%s\t", name)
+	}
+	fmt.Fprintf(w, "%s\n", lastCol)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s %s\t", row.Dataset, row.Label)
+		for _, name := range sampling.StatNames {
+			fmt.Fprintf(w, "%.4g\t", row.Values[name])
+		}
+		if row.Label == "real" || row.Label == "original" {
+			fmt.Fprintln(w)
+		} else {
+			fmt.Fprintf(w, "%.3f\n", row.AvgLast)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// RenderTable4 formats the sample-mean utility table.
+func RenderTable4(s *Suite, rows []UtilityRow) string {
+	return renderUtility(
+		fmt.Sprintf("Table 4: sample means over %d worlds, strict eps [scale=%s]", s.Opt.Worlds, s.Opt.Scale),
+		"rel.err.", rows)
+}
+
+// RenderTable5 formats the relative-SEM table.
+func RenderTable5(s *Suite, rows []UtilityRow) string {
+	return renderUtility(
+		fmt.Sprintf("Table 5: relative sample standard error of the mean [scale=%s]", s.Opt.Scale),
+		"average", rows)
+}
+
+// RenderTable6 formats the baseline-comparison table.
+func RenderTable6(s *Suite, rows []Table6Row) string {
+	conv := make([]UtilityRow, len(rows))
+	for i, r := range rows {
+		conv[i] = UtilityRow(r)
+	}
+	return renderUtility(
+		fmt.Sprintf("Table 6: obfuscation vs random perturbation/sparsification [scale=%s]", s.Opt.Scale),
+		"rel.err.", conv)
+}
+
+// RenderFigure formats a boxplot series (Figures 2 and 3) as one line
+// per coordinate: reference value then min/Q1/median/Q3/max.
+func RenderFigure(series []FigureSeries, maxCoords int) string {
+	var b strings.Builder
+	for _, fs := range series {
+		fmt.Fprintf(&b, "%s\n", fs.Title)
+		w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "x\toriginal\tmin\tQ1\tmedian\tQ3\tmax")
+		limit := len(fs.Boxes)
+		if maxCoords > 0 && limit > maxCoords {
+			limit = maxCoords
+		}
+		for i := 0; i < limit; i++ {
+			ref := 0.0
+			if i < len(fs.Reference) {
+				ref = fs.Reference[i]
+			}
+			box := fs.Boxes[i]
+			fmt.Fprintf(w, "%d\t%.5f\t%.5f\t%.5f\t%.5f\t%.5f\t%.5f\n",
+				i, ref, box.Min, box.Q1, box.Median, box.Q3, box.Max)
+		}
+		w.Flush()
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure4 formats the anonymity CDF curves at selected k values.
+func RenderFigure4(series []CDFSeries) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	ks := []int{1, 5, 10, 20, 30, 40, 60, 80, 90}
+	fmt.Fprint(w, "Figure 4: #vertices with obfuscation level <= k\nseries")
+	for _, k := range ks {
+		fmt.Fprintf(w, "\tk<=%d", k)
+	}
+	fmt.Fprintln(w)
+	for _, cs := range series {
+		fmt.Fprint(w, cs.Title)
+		for _, k := range ks {
+			v := 0
+			if k < len(cs.CDF) {
+				v = cs.CDF[k]
+			}
+			fmt.Fprintf(w, "\t%d", v)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"testing"
+
+	"uncertaingraph/internal/randx"
+)
+
+var coauthorSizes = []float64{0, 0, 0.5, 0.3, 0.15, 0.05}
+
+func TestAffiliationBasicShape(t *testing.T) {
+	g := Affiliation(randx.New(1), 800, 1000, coauthorSizes, 0, 0.4, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 800 {
+		t.Fatal("vertex count")
+	}
+	// ~1000 groups with >= 1 edge each (minus dedup) must leave a
+	// substantial edge set.
+	if g.NumEdges() < 800 {
+		t.Errorf("edges = %d, suspiciously few", g.NumEdges())
+	}
+}
+
+func TestAffiliationDegreeCap(t *testing.T) {
+	cap := 25
+	g := Affiliation(randx.New(2), 500, 2000, coauthorSizes, cap, 0.3, 1)
+	// The cap is checked before a member joins a group, so a vertex
+	// just below the cap can still gain up to groupsize-1 edges.
+	slack := len(coauthorSizes)
+	if got := g.MaxDegree(); got > cap+slack {
+		t.Errorf("max degree %d exceeds cap %d plus slack %d", got, cap, slack)
+	}
+}
+
+func TestAffiliationRepeatRaisesClustering(t *testing.T) {
+	lo := Affiliation(randx.New(3), 1500, 2000, coauthorSizes, 0, 0, 1)
+	hi := Affiliation(randx.New(3), 1500, 2000, coauthorSizes, 0, 0.7, 1)
+	ccLo, ccHi := clusteringCoeff(lo), clusteringCoeff(hi)
+	if ccHi <= ccLo {
+		t.Errorf("repeat collaboration did not raise clustering: %v vs %v", ccLo, ccHi)
+	}
+}
+
+func TestAffiliationDeterministic(t *testing.T) {
+	a := Affiliation(randx.New(4), 300, 400, coauthorSizes, 50, 0.5, 1)
+	b := Affiliation(randx.New(4), 300, 400, coauthorSizes, 50, 0.5, 1)
+	if a.NumEdges() != b.NumEdges() {
+		t.Error("same seed must reproduce the same graph")
+	}
+}
+
+func TestAffiliationCliquePThinsGroups(t *testing.T) {
+	full := Affiliation(randx.New(7), 1200, 1500, coauthorSizes, 0, 0.3, 1)
+	thin := Affiliation(randx.New(7), 1200, 1500, coauthorSizes, 0, 0.3, 0.3)
+	if thin.NumEdges() >= full.NumEdges() {
+		t.Errorf("cliqueP=0.3 should thin edges: %d vs %d", thin.NumEdges(), full.NumEdges())
+	}
+	// Thinning should land near the density ratio.
+	ratio := float64(thin.NumEdges()) / float64(full.NumEdges())
+	if ratio < 0.2 || ratio > 0.5 {
+		t.Errorf("edge ratio %v, want ~0.3", ratio)
+	}
+	if clusteringCoeff(thin) >= clusteringCoeff(full) {
+		t.Error("sparser groups should lower clustering")
+	}
+}
+
+func TestAffiliationGroupLargerThanN(t *testing.T) {
+	// Group sizes above n must clamp, not loop forever.
+	sizes := []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 1} // always size 9
+	g := Affiliation(randx.New(5), 5, 10, sizes, 0, 0, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Size clamps to 5: the graph converges to K5.
+	if g.NumEdges() != 10 {
+		t.Errorf("edges = %d, want 10 (K5)", g.NumEdges())
+	}
+}
+
+func TestCumulativeSampling(t *testing.T) {
+	cdf := cumulative([]float64{0, 1, 3})
+	if cdf[2] != 1 {
+		t.Error("cdf must end at 1")
+	}
+	rng := randx.New(6)
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[sampleCumulative(rng, cdf)]++
+	}
+	if counts[0] != 0 {
+		t.Error("zero-mass size sampled")
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("size ratio %v, want ~3", ratio)
+	}
+}

@@ -1,0 +1,42 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// logOneMinus returns ln(1-p) computed stably.
+func logOneMinus(p float64) float64 {
+	return math.Log1p(-p)
+}
+
+// geometricSkip returns a Geometric(p) sample (number of failures before
+// the first success), given lnq = ln(1-p).
+func geometricSkip(rng *rand.Rand, lnq float64) int {
+	if lnq == 0 {
+		return math.MaxInt32
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int(math.Log(u) / lnq)
+}
+
+// pairFromIndex maps a lexicographic index over the pairs
+// (0,1), (0,2), ..., (0,n-1), (1,2), ... to the pair (u, v), u < v.
+func pairFromIndex(idx, n int) (int, int) {
+	u := 0
+	rowLen := n - 1
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + idx
+}
+
+// powf is math.Pow, aliased for brevity in the power-law sampler, and
+// tolerant of the a ~ 0 corner (gamma ~ 1) where the transform
+// degenerates; callers keep gamma away from exactly 1.
+func powf(x, a float64) float64 { return math.Pow(x, a) }

@@ -1,0 +1,263 @@
+// Package graph provides the undirected-graph substrate: a compact
+// immutable adjacency representation, an incremental builder, degree
+// utilities, and edge-list IO. All higher layers (uncertain graphs,
+// obfuscation, statistics) are built on this package.
+//
+// Vertices are dense integers 0..N-1. Self-loops and parallel edges are
+// rejected at construction, matching the paper's simple-graph model.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an unordered pair of distinct vertices, stored with U < V.
+type Edge struct {
+	U, V int
+}
+
+// Canon returns e with endpoints ordered so that U < V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Graph is an immutable simple undirected graph.
+type Graph struct {
+	adj [][]int // sorted neighbor lists
+	m   int     // number of edges
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges map[int64]struct{}
+	order []Edge // insertion order, for deterministic adjacency
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, edges: make(map[int64]struct{})}
+}
+
+// PairKey encodes the unordered pair (u, v) into a single int64 for use
+// as a set key; u and v must be distinct vertices below n.
+func PairKey(u, v, n int) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)*int64(n) + int64(v)
+}
+
+// AddEdge records the undirected edge (u, v). It returns false if the
+// edge is a self-loop, out of range, or already present.
+func (b *Builder) AddEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return false
+	}
+	key := PairKey(u, v, b.n)
+	if _, dup := b.edges[key]; dup {
+		return false
+	}
+	b.edges[key] = struct{}{}
+	b.order = append(b.order, Edge{U: u, V: v}.Canon())
+	return true
+}
+
+// HasEdge reports whether (u, v) has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return false
+	}
+	_, ok := b.edges[PairKey(u, v, b.n)]
+	return ok
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces the immutable graph. The builder may keep being used
+// afterwards; subsequent Builds see later additions.
+func (b *Builder) Build() *Graph {
+	deg := make([]int, b.n)
+	for _, e := range b.order {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	adj := make([][]int, b.n)
+	for v, d := range deg {
+		adj[v] = make([]int, 0, d)
+	}
+	for _, e := range b.order {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for v := range adj {
+		sort.Ints(adj[v])
+	}
+	return &Graph{adj: adj, m: len(b.order)}
+}
+
+// FromEdges constructs a graph on n vertices from the given edge list,
+// ignoring duplicates and self-loops.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge reports whether the edge (u, v) exists, by binary search on
+// the shorter adjacency list.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, v = g.adj[v], u
+	}
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+// Edges returns all edges with U < V, ordered by (U, V).
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+	}
+	return edges
+}
+
+// ForEachEdge calls fn once per edge with u < v, in (u, v) order.
+func (g *Graph) ForEachEdge(fn func(u, v int)) {
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				fn(u, v)
+			}
+		}
+	}
+}
+
+// Degrees returns the degree sequence indexed by vertex.
+func (g *Graph) Degrees() []int {
+	deg := make([]int, len(g.adj))
+	for v := range g.adj {
+		deg[v] = len(g.adj[v])
+	}
+	return deg
+}
+
+// MaxDegree returns the maximum degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AverageDegree returns 2m/n, or 0 for the empty graph.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.adj))
+}
+
+// DegreeHistogram returns counts[d] = number of vertices of degree d,
+// for 0 <= d <= MaxDegree.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := range g.adj {
+		counts[len(g.adj[v])]++
+	}
+	return counts
+}
+
+// ConnectedComponents returns, for each vertex, the id of its component
+// (ids are dense, assigned in discovery order) and the number of
+// components.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	n := len(g.adj)
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.adj[u] {
+				if comp[v] == -1 {
+					comp[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// Validate checks internal invariants (sorted adjacency, symmetry, no
+// self-loops, edge-count consistency) and returns a descriptive error on
+// the first violation. It is used by tests and after deserialization.
+func (g *Graph) Validate() error {
+	total := 0
+	for u, nbrs := range g.adj {
+		for i, v := range nbrs {
+			if v < 0 || v >= len(g.adj) {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", u, v)
+			}
+			if v == u {
+				return fmt.Errorf("graph: self-loop at %d", u)
+			}
+			if i > 0 && nbrs[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", u)
+			}
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", u, v)
+			}
+		}
+		total += len(nbrs)
+	}
+	if total != 2*g.m {
+		return fmt.Errorf("graph: degree sum %d != 2m = %d", total, 2*g.m)
+	}
+	return nil
+}

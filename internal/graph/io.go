@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list. Each non-empty
+// line holds two vertex ids; lines starting with '#' or '%' are
+// comments. Vertex ids need not be dense: they are remapped to 0..N-1 in
+// first-appearance order, and the mapping from original id to dense id
+// is returned.
+//
+// Duplicate edges and self-loops are ignored, matching the simple-graph
+// model of the paper.
+func ReadEdgeList(r io.Reader) (*Graph, map[string]int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<22)
+	ids := make(map[string]int)
+	var edges [][2]int
+	lookup := func(tok string) int {
+		if id, ok := ids[tok]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[tok] = id
+		return id
+	}
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", lineNo, line)
+		}
+		edges = append(edges, [2]int{lookup(fields[0]), lookup(fields[1])})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	b := NewBuilder(len(ids))
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build(), ids, nil
+}
+
+// WriteEdgeList writes the graph as "u v" lines with u < v, preceded by
+// a comment header with the vertex and edge counts.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices=%d edges=%d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var err error
+	g.ForEachEdge(func(u, v int) {
+		if err != nil {
+			return
+		}
+		bw.WriteString(strconv.Itoa(u))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.Itoa(v))
+		err = bw.WriteByte('\n')
+	})
+	if err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	return bw.Flush()
+}

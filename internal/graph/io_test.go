@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1
+1 2
+
+2 0
+0 1
+3 3
+`
+	g, ids, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Errorf("vertices = %d, want 4 (ids %v)", g.NumVertices(), ids)
+	}
+	// Duplicate "0 1" and self-loop "3 3" dropped: triangle on 0,1,2.
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadEdgeListRemapsSparseIDs(t *testing.T) {
+	in := "1000 42\nfoo 1000\n"
+	g, ids, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if ids["1000"] != 0 || ids["42"] != 1 || ids["foo"] != 2 {
+		t.Errorf("id map = %v", ids)
+	}
+}
+
+func TestReadEdgeListMalformed(t *testing.T) {
+	if _, _, err := ReadEdgeList(strings.NewReader("0\n")); err == nil {
+		t.Error("expected error for single-token line")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {0, 4}, {2, 3}, {1, 4}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip lost edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	// Vertex 3 never appears as an endpoint before vertex 2 in output, so
+	// ids may be remapped, but the degree multiset must be preserved.
+	h1, h2 := g.DegreeHistogram(), g2.DegreeHistogram()
+	for d := range h1 {
+		if d < len(h2) && h1[d] != h2[d] {
+			t.Fatalf("degree histograms differ at %d: %v vs %v", d, h1, h2)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package hll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sketchOf(items []uint64, seed uint64) Counter {
+	c := New(7)
+	for _, x := range items {
+		c.AddHash(Hash64(x, seed))
+	}
+	return c
+}
+
+func regsEqual(a, b Counter) bool {
+	for i := range a.reg {
+		if a.reg[i] != b.reg[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: union is commutative, associative and idempotent at the
+// register level — the algebra HyperANF's fixed-point iteration relies
+// on.
+func TestQuickUnionAlgebra(t *testing.T) {
+	f := func(rawA, rawB, rawC []uint64) bool {
+		a, b, c := sketchOf(rawA, 1), sketchOf(rawB, 1), sketchOf(rawC, 1)
+
+		// Commutativity: a∪b == b∪a.
+		ab := a.Clone()
+		ab.Union(b)
+		ba := b.Clone()
+		ba.Union(a)
+		if !regsEqual(ab, ba) {
+			return false
+		}
+		// Associativity: (a∪b)∪c == a∪(b∪c).
+		abc1 := ab.Clone()
+		abc1.Union(c)
+		bc := b.Clone()
+		bc.Union(c)
+		abc2 := a.Clone()
+		abc2.Union(bc)
+		if !regsEqual(abc1, abc2) {
+			return false
+		}
+		// Idempotence: a∪a == a, and union reports no change.
+		aa := a.Clone()
+		if aa.Union(a) {
+			return false
+		}
+		return regsEqual(aa, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding elements (almost) never decreases the estimate.
+// Registers are monotone, and the estimate is monotone within each
+// regime of the estimator; the only permitted dip is the bounded
+// discontinuity where it switches from linear counting to the raw
+// HyperLogLog formula (ANF's distance distribution clamps any
+// resulting negative increment).
+func TestQuickEstimateMonotone(t *testing.T) {
+	f := func(seed int64, extra uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(6)
+		prev := c.Estimate()
+		for i := 0; i < int(extra)+1; i++ {
+			c.AddHash(Hash64(rng.Uint64(), 3))
+			est := c.Estimate()
+			if est < prev*0.75-1e-9 {
+				return false
+			}
+			if est > prev {
+				prev = est
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union estimate is at least the max of the operands' and at
+// most their sum (for these sketches: subadditivity holds through the
+// register max).
+func TestQuickUnionEstimateBounds(t *testing.T) {
+	f := func(rawA, rawB []uint64) bool {
+		a, b := sketchOf(rawA, 5), sketchOf(rawB, 5)
+		u := a.Clone()
+		u.Union(b)
+		ea, eb, eu := a.Estimate(), b.Estimate(), u.Estimate()
+		max := ea
+		if eb > max {
+			max = eb
+		}
+		return eu >= max-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package mathx
+
+import "math"
+
+// BinomialPMF returns the probability mass function of Binomial(n, p) as
+// a slice of length n+1. Entries are computed in log space (via the log
+// gamma function), so rows remain accurate for n in the thousands where
+// the naive recurrence underflows.
+func BinomialPMF(n int, p float64) []float64 {
+	pmf := make([]float64, n+1)
+	switch {
+	case n < 0:
+		return nil
+	case p <= 0:
+		pmf[0] = 1
+		return pmf
+	case p >= 1:
+		pmf[n] = 1
+		return pmf
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	lgN, _ := math.Lgamma(float64(n + 1))
+	for k := 0; k <= n; k++ {
+		lgK, _ := math.Lgamma(float64(k + 1))
+		lgNK, _ := math.Lgamma(float64(n - k + 1))
+		pmf[k] = math.Exp(lgN - lgK - lgNK + float64(k)*lp + float64(n-k)*lq)
+	}
+	return pmf
+}
+
+// Convolve returns the distribution of X+Y for independent X ~ a and
+// Y ~ b given as PMFs; the result has length len(a)+len(b)-1.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] += ai * bj
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package mathx
+
+import "math"
+
+// Entropy2 returns the Shannon entropy, in bits, of the distribution
+// whose (unnormalized) weights are given. Zero weights contribute
+// nothing (0*log 0 = 0). If the total weight is zero, the entropy is 0.
+//
+// Passing unnormalized weights is deliberate: the adversary model works
+// with columns X_.(w) of the X matrix and normalizes them into Y_w on the
+// fly (paper Eq. 3); doing the normalization inside the entropy avoids
+// materializing each Y column.
+func Entropy2(weights []float64) float64 {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 {
+		return 0
+	}
+	var h float64
+	for _, w := range weights {
+		if w > 0 {
+			p := w / sum
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// EntropyAccumulator incrementally computes the entropy of an
+// unnormalized distribution without storing it. It exploits
+//
+//	H = -sum p_i log2 p_i = log2(S) - (1/S) sum w_i log2 w_i
+//
+// where S = sum w_i, so a single pass over the weights suffices and the
+// weights may be streamed column-wise out of the adversary's X matrix.
+type EntropyAccumulator struct {
+	sum     float64 // S
+	sumWLog float64 // sum w_i*log2(w_i)
+}
+
+// Add accumulates a weight w >= 0.
+func (a *EntropyAccumulator) Add(w float64) {
+	if w <= 0 {
+		return
+	}
+	a.sum += w
+	a.sumWLog += w * math.Log2(w)
+}
+
+// Sum returns the total accumulated weight.
+func (a *EntropyAccumulator) Sum() float64 { return a.sum }
+
+// Entropy returns the Shannon entropy, in bits, of the accumulated
+// distribution after normalization.
+func (a *EntropyAccumulator) Entropy() float64 {
+	if a.sum <= 0 {
+		return 0
+	}
+	return math.Log2(a.sum) - a.sumWLog/a.sum
+}
+
+// Reset clears the accumulator for reuse.
+func (a *EntropyAccumulator) Reset() { a.sum, a.sumWLog = 0, 0 }
+
+// Merge folds another accumulator into a. Because both tracked sums are
+// plain additive, accumulators built on disjoint weight subsets merge
+// exactly — this is what lets the adversary compute column entropies
+// over vertex ranges in parallel.
+func (a *EntropyAccumulator) Merge(b EntropyAccumulator) {
+	a.sum += b.sum
+	a.sumWLog += b.sumWLog
+}

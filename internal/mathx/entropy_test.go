@@ -1,0 +1,113 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropy2KnownValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		want    float64
+	}{
+		{"uniform2", []float64{1, 1}, 1},
+		{"uniform4", []float64{0.25, 0.25, 0.25, 0.25}, 2},
+		{"uniform4-unnormalized", []float64{3, 3, 3, 3}, 2},
+		{"point-mass", []float64{0, 5, 0}, 0},
+		{"empty", nil, 0},
+		{"all-zero", []float64{0, 0}, 0},
+		// Paper Example 2: column deg=3 of Table 1 is Y=(0.9, 0.1) with
+		// entropy ~0.469.
+		{"paper-deg3", []float64{0.504, 0.056, 0, 0}, 0.4689955935892812},
+	}
+	for _, c := range cases {
+		if got := Entropy2(c.weights); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("%s: Entropy2 = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEntropyAccumulatorMatchesEntropy2(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(50)
+		weights := make([]float64, n)
+		for i := range weights {
+			if rng.Float64() < 0.2 {
+				weights[i] = 0
+			} else {
+				weights[i] = rng.ExpFloat64()
+			}
+		}
+		var acc EntropyAccumulator
+		for _, w := range weights {
+			acc.Add(w)
+		}
+		if got, want := acc.Entropy(), Entropy2(weights); !almostEq(got, want, 1e-9) {
+			t.Fatalf("accumulator entropy %v != direct %v (weights %v)", got, want, weights)
+		}
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	// Property: 0 <= H <= log2(n) for any distribution on n outcomes.
+	f := func(raw []float64) bool {
+		weights := make([]float64, 0, len(raw))
+		for _, w := range raw {
+			if !math.IsNaN(w) && !math.IsInf(w, 0) {
+				// Weights in practice are probabilities or counts; keep
+				// the generated magnitudes in a range whose sum cannot
+				// overflow.
+				weights = append(weights, math.Mod(math.Abs(w), 1e6))
+			}
+		}
+		h := Entropy2(weights)
+		if h < -1e-12 {
+			return false
+		}
+		n := 0
+		for _, w := range weights {
+			if w > 0 {
+				n++
+			}
+		}
+		if n == 0 {
+			return h == 0
+		}
+		return h <= math.Log2(float64(n))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropyScaleInvariance(t *testing.T) {
+	// Entropy of unnormalized weights must not depend on a global scale.
+	w := []float64{0.1, 2, 3.5, 0, 7}
+	h1 := Entropy2(w)
+	scaled := make([]float64, len(w))
+	for i := range w {
+		scaled[i] = w[i] * 1e6
+	}
+	if h2 := Entropy2(scaled); !almostEq(h1, h2, 1e-12) {
+		t.Errorf("entropy not scale invariant: %v vs %v", h1, h2)
+	}
+}
+
+func TestEntropyAccumulatorReset(t *testing.T) {
+	var acc EntropyAccumulator
+	acc.Add(1)
+	acc.Add(1)
+	acc.Reset()
+	if acc.Entropy() != 0 || acc.Sum() != 0 {
+		t.Error("reset accumulator should be empty")
+	}
+	acc.Add(2)
+	acc.Add(2)
+	if got := acc.Entropy(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("entropy after reset = %v, want 1", got)
+	}
+}

@@ -1,0 +1,102 @@
+package mathx
+
+import "math"
+
+// HoeffdingSampleSize returns the minimal number of sampled possible
+// worlds r that guarantees Pr(|E(S) - mean| >= eps) <= delta for a
+// statistic bounded in [a, b] (paper Corollary 1):
+//
+//	r >= (1/2) * ((b-a)/eps)^2 * ln(2/delta).
+func HoeffdingSampleSize(a, b, eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 || b <= a {
+		return 0
+	}
+	r := 0.5 * math.Pow((b-a)/eps, 2) * math.Log(2/delta)
+	return int(math.Ceil(r))
+}
+
+// HoeffdingFailureBound returns the right-hand side of paper Lemma 2:
+// the probability that the sample mean of r draws of a statistic bounded
+// in [a, b] deviates from its expectation by at least eps,
+//
+//	2 * exp(-2*eps^2*r / (b-a)^2).
+func HoeffdingFailureBound(a, b, eps float64, r int) float64 {
+	if b <= a || r <= 0 {
+		return 1
+	}
+	return 2 * math.Exp(-2*eps*eps*float64(r)/((b-a)*(b-a)))
+}
+
+// MeanStd returns the sample mean and the sample standard deviation
+// (Bessel-corrected) of xs. For fewer than two values the standard
+// deviation is 0.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// RelativeSEM returns the relative sample standard error of the mean used
+// in paper Table 5: the sample standard deviation divided by sqrt(len)
+// and normalized by the absolute sample mean. It returns 0 when the mean
+// is zero.
+func RelativeSEM(xs []float64) float64 {
+	mean, std := MeanStd(xs)
+	if mean == 0 || len(xs) == 0 {
+		return 0
+	}
+	return std / math.Sqrt(float64(len(xs))) / math.Abs(mean)
+}
+
+// RelAbsErr returns |est-real| / |real|, the per-statistic relative error
+// of paper Table 4; if real is 0 it returns |est|.
+func RelAbsErr(est, real float64) float64 {
+	if real == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-real) / math.Abs(real)
+}
+
+// Jackknife estimates the standard error of a statistic computed from r
+// independent replicated measurements (e.g. repeated HyperANF runs, as
+// the paper does in Section 6.3) using the delete-one jackknife:
+// for each i the statistic is recomputed on the sample with element i
+// removed, and the jackknife variance is (r-1)/r * sum (t_i - t_bar)^2.
+//
+// stat maps a slice of measurements to the derived scalar.
+func Jackknife(measurements []float64, stat func([]float64) float64) (estimate, stderr float64) {
+	r := len(measurements)
+	estimate = stat(measurements)
+	if r < 2 {
+		return estimate, 0
+	}
+	loo := make([]float64, 0, r)
+	buf := make([]float64, 0, r-1)
+	for i := range measurements {
+		buf = buf[:0]
+		buf = append(buf, measurements[:i]...)
+		buf = append(buf, measurements[i+1:]...)
+		loo = append(loo, stat(buf))
+	}
+	mean, _ := MeanStd(loo)
+	var ss float64
+	for _, t := range loo {
+		d := t - mean
+		ss += d * d
+	}
+	stderr = math.Sqrt(float64(r-1) / float64(r) * ss)
+	return estimate, stderr
+}

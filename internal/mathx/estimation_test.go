@@ -1,0 +1,163 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHoeffdingSampleSize(t *testing.T) {
+	// Clustering coefficient case from Section 6.4: a=0, b=1.
+	// r = (1/(2*eps^2)) * ln(2/delta).
+	got := HoeffdingSampleSize(0, 1, 0.05, 0.05)
+	want := int(math.Ceil(0.5 / (0.05 * 0.05) * math.Log(2/0.05)))
+	if got != want {
+		t.Errorf("HoeffdingSampleSize = %d, want %d", got, want)
+	}
+	if HoeffdingSampleSize(0, 1, 0, 0.1) != 0 {
+		t.Error("eps=0 should yield 0")
+	}
+	if HoeffdingSampleSize(1, 0, 0.1, 0.1) != 0 {
+		t.Error("b<=a should yield 0")
+	}
+}
+
+func TestHoeffdingRoundTrip(t *testing.T) {
+	// Using the computed r, the failure bound must be at most delta.
+	a, b, eps, delta := 0.0, 5.0, 0.2, 0.01
+	r := HoeffdingSampleSize(a, b, eps, delta)
+	if bound := HoeffdingFailureBound(a, b, eps, r); bound > delta+1e-12 {
+		t.Errorf("bound %v exceeds delta %v at r=%d", bound, delta, r)
+	}
+	if bound := HoeffdingFailureBound(a, b, eps, r-10); bound <= delta {
+		t.Errorf("bound at r-10 should exceed delta, got %v", bound)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(mean, 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	// Sample (Bessel) std of this classic dataset: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almostEq(std, want, 1e-12) {
+		t.Errorf("std = %v, want %v", std, want)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("empty input should give 0,0")
+	}
+	if m, s := MeanStd([]float64{3}); m != 3 || s != 0 {
+		t.Error("single value should give value,0")
+	}
+}
+
+func TestRelativeSEM(t *testing.T) {
+	xs := []float64{10, 12, 8, 11, 9}
+	mean, std := MeanStd(xs)
+	want := std / math.Sqrt(5) / mean
+	if got := RelativeSEM(xs); !almostEq(got, want, 1e-12) {
+		t.Errorf("RelativeSEM = %v, want %v", got, want)
+	}
+	if RelativeSEM([]float64{0, 0}) != 0 {
+		t.Error("zero-mean input should yield 0")
+	}
+}
+
+func TestRelAbsErr(t *testing.T) {
+	if got := RelAbsErr(110, 100); !almostEq(got, 0.1, 1e-12) {
+		t.Errorf("RelAbsErr(110,100) = %v, want 0.1", got)
+	}
+	if got := RelAbsErr(-3, 0); !almostEq(got, 3, 1e-12) {
+		t.Errorf("RelAbsErr(-3,0) = %v, want 3", got)
+	}
+}
+
+func TestJackknifeMeanMatchesClassicSE(t *testing.T) {
+	// For the sample mean, the jackknife SE equals the classic SEM
+	// s/sqrt(r) exactly.
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	meanStat := func(v []float64) float64 {
+		m, _ := MeanStd(v)
+		return m
+	}
+	est, se := Jackknife(xs, meanStat)
+	mean, std := MeanStd(xs)
+	if !almostEq(est, mean, 1e-12) {
+		t.Errorf("jackknife estimate %v != mean %v", est, mean)
+	}
+	if want := std / math.Sqrt(float64(len(xs))); !almostEq(se, want, 1e-9) {
+		t.Errorf("jackknife SE %v != classic SEM %v", se, want)
+	}
+}
+
+func TestJackknifeDegenerate(t *testing.T) {
+	stat := func(v []float64) float64 { m, _ := MeanStd(v); return m }
+	if _, se := Jackknife([]float64{5}, stat); se != 0 {
+		t.Error("single measurement should have zero SE")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x+1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) || !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1 R2 1", fit)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{2}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := FitLine([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("expected error for constant x")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{2}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func TestPowerLawExponentRecovery(t *testing.T) {
+	// Exact power law: freq[d] = d^-2.5 for d in [5, 200].
+	freq := make([]float64, 201)
+	for d := 1; d <= 200; d++ {
+		freq[d] = math.Pow(float64(d), -2.5)
+	}
+	gamma, err := PowerLawExponent(freq, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(gamma, -2.5, 1e-9) {
+		t.Errorf("recovered exponent %v, want -2.5", gamma)
+	}
+	// Cutoff must matter: contaminate low degrees heavily.
+	freq[1], freq[2] = 100, 100
+	gammaLow, err := PowerLawExponent(freq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gammaHigh, err := PowerLawExponent(freq, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if almostEq(gammaLow, gammaHigh, 1e-6) {
+		t.Error("cutoff had no effect on contaminated data")
+	}
+	if !almostEq(gammaHigh, -2.5, 1e-9) {
+		t.Errorf("cutoff fit %v, want -2.5", gammaHigh)
+	}
+}
+
+func TestPowerLawExponentErrors(t *testing.T) {
+	if _, err := PowerLawExponent([]float64{0, 1}, 1); err == nil {
+		t.Error("expected error with a single usable point")
+	}
+}

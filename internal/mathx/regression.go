@@ -1,0 +1,80 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit holds the result of an ordinary-least-squares line fit
+// y = Slope*x + Intercept, together with the coefficient of
+// determination R2.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// ErrTooFewPoints is returned when a regression is attempted on fewer
+// than two points.
+var ErrTooFewPoints = errors.New("mathx: regression needs at least two points")
+
+// FitLine fits y = a*x + b by ordinary least squares.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("mathx: mismatched regression inputs")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrTooFewPoints
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("mathx: degenerate regression (constant x)")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1 // all residuals are zero on a constant y
+	}
+	return fit, nil
+}
+
+// PowerLawExponent estimates the exponent of a power-law frequency
+// distribution freq[d] ~ d^gamma by least squares on the log-log plot,
+// using only degrees d with minDegree <= d and freq[d] > 0. It returns
+// the slope gamma (the paper's S_PL statistic, an estimate of -gamma in
+// their sign convention: they report the fitted slope directly).
+//
+// The paper fits "focusing on higher degrees where the power law fits
+// better ... ignoring smaller degrees"; minDegree implements that cutoff.
+func PowerLawExponent(freq []float64, minDegree int) (float64, error) {
+	if minDegree < 1 {
+		minDegree = 1
+	}
+	var xs, ys []float64
+	for d := minDegree; d < len(freq); d++ {
+		if freq[d] > 0 {
+			xs = append(xs, math.Log(float64(d)))
+			ys = append(ys, math.Log(freq[d]))
+		}
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	return fit.Slope, nil
+}

@@ -1,0 +1,238 @@
+package pbinom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates all 2^L outcomes; usable for L <= ~20.
+func bruteForce(probs []float64) []float64 {
+	L := len(probs)
+	dist := make([]float64, L+1)
+	for mask := 0; mask < 1<<L; mask++ {
+		p := 1.0
+		ones := 0
+		for i := 0; i < L; i++ {
+			if mask&(1<<i) != 0 {
+				p *= probs[i]
+				ones++
+			} else {
+				p *= 1 - probs[i]
+			}
+		}
+		dist[ones] += p
+	}
+	return dist
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		L := 1 + rng.Intn(12)
+		probs := make([]float64, L)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		want := bruteForce(probs)
+		d := Exact(probs)
+		for k := 0; k <= L; k++ {
+			if math.Abs(d.Prob(k)-want[k]) > 1e-12 {
+				t.Fatalf("L=%d k=%d: exact %v, brute force %v", L, k, d.Prob(k), want[k])
+			}
+		}
+	}
+}
+
+func TestExactMatchesBinomialClosedForm(t *testing.T) {
+	// Equal probabilities reduce to Binomial(L, p).
+	L, p := 25, 0.37
+	probs := make([]float64, L)
+	for i := range probs {
+		probs[i] = p
+	}
+	d := Exact(probs)
+	for k := 0; k <= L; k++ {
+		logC := lgamma(L+1) - lgamma(k+1) - lgamma(L-k+1)
+		want := math.Exp(logC + float64(k)*math.Log(p) + float64(L-k)*math.Log(1-p))
+		if math.Abs(d.Prob(k)-want) > 1e-12 {
+			t.Fatalf("k=%d: %v vs binomial %v", k, d.Prob(k), want)
+		}
+	}
+}
+
+func lgamma(x int) float64 {
+	v, _ := math.Lgamma(float64(x))
+	return v
+}
+
+func TestExactSumsToOneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		probs := make([]float64, 0, len(raw))
+		for _, p := range raw {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				continue
+			}
+			probs = append(probs, math.Abs(math.Mod(p, 1)))
+			if len(probs) == 60 {
+				break
+			}
+		}
+		d := Exact(probs)
+		var sum float64
+		for k := 0; k <= len(probs); k++ {
+			if d.Prob(k) < 0 {
+				return false
+			}
+			sum += d.Prob(k)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperExample1(t *testing.T) {
+	// Vertex v1 of Figure 1(b) has incident probabilities 0.7, 0.9, 0.8.
+	// Table 1 row: X_v1 = (0.006, 0.092, 0.398, 0.504).
+	d := Exact([]float64{0.7, 0.9, 0.8})
+	want := []float64{0.006, 0.092, 0.398, 0.504}
+	for k, w := range want {
+		if math.Abs(d.Prob(k)-w) > 1e-12 {
+			t.Errorf("X_v1(%d) = %v, want %v", k, d.Prob(k), w)
+		}
+	}
+	// Vertex v4: incident probabilities 0.8, 0.1, 0 -> (0.18, 0.74, 0.08, 0).
+	d4 := Exact([]float64{0.8, 0.1, 0})
+	want4 := []float64{0.18, 0.74, 0.08, 0}
+	for k, w := range want4 {
+		if math.Abs(d4.Prob(k)-w) > 1e-12 {
+			t.Errorf("X_v4(%d) = %v, want %v", k, d4.Prob(k), w)
+		}
+	}
+}
+
+func TestMeanAndSigma(t *testing.T) {
+	probs := []float64{0.2, 0.5, 0.9}
+	d := Exact(probs)
+	if got, want := d.Mean(), 1.6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	wantVar := 0.2*0.8 + 0.5*0.5 + 0.9*0.1
+	if got := d.Sigma(); math.Abs(got-math.Sqrt(wantVar)) > 1e-12 {
+		t.Errorf("Sigma = %v, want %v", got, math.Sqrt(wantVar))
+	}
+	// Mean via the distribution must agree.
+	var mean float64
+	for k := 0; k <= 3; k++ {
+		mean += float64(k) * d.Prob(k)
+	}
+	if math.Abs(mean-1.6) > 1e-12 {
+		t.Errorf("distribution mean = %v", mean)
+	}
+}
+
+func TestApproxCloseToExactForLargeL(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	L := 300
+	probs := make([]float64, L)
+	for i := range probs {
+		probs[i] = 0.05 + 0.9*rng.Float64()
+	}
+	exact := Exact(probs)
+	approx := Approx(probs)
+	// Total variation distance between exact and CLT approximations
+	// should be small at L=300.
+	var tv float64
+	for k := 0; k <= L; k++ {
+		tv += math.Abs(exact.Prob(k) - approx.Prob(k))
+	}
+	tv /= 2
+	if tv > 0.01 {
+		t.Errorf("total variation %v too large for L=%d", tv, L)
+	}
+}
+
+func TestNewAdaptive(t *testing.T) {
+	small := make([]float64, 10)
+	large := make([]float64, 100)
+	for i := range small {
+		small[i] = 0.5
+	}
+	for i := range large {
+		large[i] = 0.5
+	}
+	if !New(small, 0).IsExact() {
+		t.Error("10 terms should use exact DP")
+	}
+	if New(large, 0).IsExact() {
+		t.Error("100 terms should use approximation")
+	}
+	if !New(large, 200).IsExact() {
+		t.Error("explicit threshold should force exact")
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	// No terms: point mass at 0.
+	d := Exact(nil)
+	if d.Prob(0) != 1 || d.Prob(1) != 0 {
+		t.Error("empty distribution should be point mass at 0")
+	}
+	// All certain: point mass at count of ones, both representations.
+	probs := []float64{1, 1, 0, 1}
+	for _, d := range []Dist{Exact(probs), Approx(probs)} {
+		if math.Abs(d.Prob(3)-1) > 1e-12 {
+			t.Errorf("P(3) = %v, want 1 (exact=%v)", d.Prob(3), d.IsExact())
+		}
+		if d.Prob(2) != 0 || d.Prob(4) != 0 {
+			t.Errorf("mass leaked off the point (exact=%v)", d.IsExact())
+		}
+	}
+	// Out of range.
+	if d.Prob(-1) != 0 || d.Prob(10) != 0 {
+		t.Error("out-of-range k should have zero mass")
+	}
+}
+
+func TestSupportBounds(t *testing.T) {
+	probs := make([]float64, 500)
+	for i := range probs {
+		probs[i] = 0.3
+	}
+	d := Approx(probs)
+	lo, hi := d.SupportBounds()
+	if lo < 0 || hi > 500 || lo >= hi {
+		t.Fatalf("bad bounds [%d, %d]", lo, hi)
+	}
+	// Mass outside the bounds must be negligible.
+	var outside float64
+	for k := 0; k < lo; k++ {
+		outside += d.Prob(k)
+	}
+	for k := hi + 1; k <= 500; k++ {
+		outside += d.Prob(k)
+	}
+	if outside > 1e-10 {
+		t.Errorf("mass outside bounds = %v", outside)
+	}
+	// Exact dist returns full support.
+	e := Exact([]float64{0.5, 0.5})
+	if lo, hi := e.SupportBounds(); lo != 0 || hi != 2 {
+		t.Errorf("exact bounds = [%d, %d]", lo, hi)
+	}
+}
+
+func BenchmarkExactDP(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	probs := make([]float64, 200)
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(probs)
+	}
+}

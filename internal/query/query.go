@@ -1,0 +1,213 @@
+// Package query answers analytical queries on published uncertain
+// graphs, the consumption side of the paper's proposal: Section 1
+// argues an uncertain publication is useful precisely because the
+// uncertain-graph literature (reliability, k-nearest-neighbours,
+// shortest paths — Potamias et al., Jin et al., cited in §1 and §6)
+// can run on it directly.
+//
+// All queries are possible-world Monte Carlo with Hoeffding-bounded
+// sample sizes (paper Lemma 2 / Corollary 1): indicators and bounded
+// statistics concentrate after r = ln(2/δ)/(2ε²) worlds.
+package query
+
+import (
+	"math/rand"
+	"sort"
+
+	"uncertaingraph/internal/bfs"
+	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/uncertain"
+)
+
+// Engine runs world-sampling queries over one uncertain graph.
+type Engine struct {
+	G *uncertain.Graph
+	// Worlds is the Monte-Carlo sample size (0 selects the Hoeffding
+	// size for ±0.05 at 95% confidence on indicator statistics, 738).
+	Worlds int
+	// Rng drives the sampling; nil selects a fixed seed.
+	Rng *rand.Rand
+}
+
+func (e *Engine) worlds() int {
+	if e.Worlds > 0 {
+		return e.Worlds
+	}
+	return mathx.HoeffdingSampleSize(0, 1, 0.05, 0.05)
+}
+
+func (e *Engine) rng() *rand.Rand {
+	if e.Rng != nil {
+		return e.Rng
+	}
+	return rand.New(rand.NewSource(1))
+}
+
+// Reliability estimates the two-terminal reliability Pr(s ~ t): the
+// probability that s and t are connected in a possible world.
+func (e *Engine) Reliability(s, t int) float64 {
+	rng := e.rng()
+	r := e.worlds()
+	hits := 0
+	for i := 0; i < r; i++ {
+		w := e.G.SampleWorld(rng)
+		if connected(w, s, t) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(r)
+}
+
+// DistanceDistribution estimates the distribution of dist(s, t) over
+// possible worlds: dist[d] = Pr(dist(s,t) = d), plus the probability of
+// disconnection. This is the primitive behind the median-distance and
+// majority-distance semantics used for k-NN on uncertain graphs.
+func (e *Engine) DistanceDistribution(s, t int) (dist map[int]float64, disconnected float64) {
+	rng := e.rng()
+	r := e.worlds()
+	counts := make(map[int]int)
+	discon := 0
+	for i := 0; i < r; i++ {
+		w := e.G.SampleWorld(rng)
+		d := bfs.FromSource(w, s)[t]
+		if d < 0 {
+			discon++
+		} else {
+			counts[d]++
+		}
+	}
+	dist = make(map[int]float64, len(counts))
+	for d, c := range counts {
+		dist[d] = float64(c) / float64(r)
+	}
+	return dist, float64(discon) / float64(r)
+}
+
+// MedianDistance returns the median of dist(s, t) over possible worlds,
+// with disconnection treated as +infinity (returned as -1 when the
+// median itself is a disconnection) — the robust distance of Potamias
+// et al.
+func (e *Engine) MedianDistance(s, t int) int {
+	dist, _ := e.DistanceDistribution(s, t)
+	// Walk distances in increasing order until half the mass is covered.
+	maxD := 0
+	for d := range dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	var cum float64
+	for d := 0; d <= maxD; d++ {
+		cum += dist[d]
+		if cum >= 0.5 {
+			return d
+		}
+	}
+	return -1
+}
+
+// ExpectedDegree returns E[deg(v)], exact (sum of incident
+// probabilities).
+func (e *Engine) ExpectedDegree(v int) float64 { return e.G.ExpectedDegree(v) }
+
+// KNearest returns the k vertices with the smallest median distance to
+// s (excluding s), breaking ties by vertex id — majority-distance k-NN
+// over the uncertain graph. The implementation samples worlds once and
+// reuses the per-world BFS trees for all candidates.
+func (e *Engine) KNearest(s, k int) []int {
+	rng := e.rng()
+	r := e.worlds()
+	n := e.G.NumVertices()
+	// distSamples[v] collects dist(s,v) per world (-1 disconnected).
+	counts := make([][]int, n) // counts[v][d] occurrences; index maxD+1 = disconnected
+	for i := 0; i < r; i++ {
+		w := e.G.SampleWorld(rng)
+		dists := bfs.FromSource(w, s)
+		for v, d := range dists {
+			if counts[v] == nil {
+				counts[v] = make([]int, n+1)
+			}
+			if d < 0 {
+				counts[v][n]++
+			} else {
+				counts[v][d]++
+			}
+		}
+	}
+	cands := make([]cand, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v == s || counts[v] == nil {
+			continue
+		}
+		med := medianOf(counts[v], r, n)
+		if med >= 0 {
+			cands = append(cands, cand{v: v, median: med})
+		}
+	}
+	sortCands(cands)
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].v
+	}
+	return out
+}
+
+// medianOf returns the median distance given occurrence counts, with
+// the disconnection bucket at index n sorted last; -1 when the median
+// is a disconnection.
+func medianOf(counts []int, r, n int) int {
+	half := (r + 1) / 2
+	cum := 0
+	for d := 0; d < n; d++ {
+		cum += counts[d]
+		if cum >= half {
+			return d
+		}
+	}
+	return -1
+}
+
+// cand is a k-NN candidate: a vertex and its median distance.
+type cand struct {
+	v      int
+	median int
+}
+
+func sortCands(cands []cand) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].median != cands[j].median {
+			return cands[i].median < cands[j].median
+		}
+		return cands[i].v < cands[j].v
+	})
+}
+
+func connected(w interface {
+	Neighbors(int) []int
+	NumVertices() int
+}, s, t int) bool {
+	if s == t {
+		return true
+	}
+	n := w.NumVertices()
+	seen := make([]bool, n)
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range w.Neighbors(u) {
+			if v == t {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}

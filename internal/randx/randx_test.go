@@ -1,0 +1,152 @@
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewReproducible(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := New(100)
+	same := true
+	for i := 0; i < 10; i++ {
+		if New(99).Int63() != c.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	rng := New(7)
+	counts := make([]int, len(weights))
+	const n = 400000
+	for i := 0; i < n; i++ {
+		counts[a.Draw(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("outcome %d: freq %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a := NewAlias([]float64{0, 1, 0, 2, 0})
+	rng := New(13)
+	for i := 0; i < 100000; i++ {
+		k := a.Draw(rng)
+		if k != 1 && k != 3 {
+			t.Fatalf("drew zero-weight outcome %d", k)
+		}
+	}
+}
+
+func TestAliasDegenerate(t *testing.T) {
+	if NewAlias(nil) != nil {
+		t.Error("empty weights should return nil")
+	}
+	if NewAlias([]float64{0, 0}) != nil {
+		t.Error("all-zero weights should return nil")
+	}
+	a := NewAlias([]float64{5})
+	rng := New(1)
+	if a.Draw(rng) != 0 {
+		t.Error("single outcome must always be drawn")
+	}
+	if a.Len() != 1 {
+		t.Error("Len mismatch")
+	}
+}
+
+func TestAliasNegativeTreatedAsZero(t *testing.T) {
+	a := NewAlias([]float64{-3, 1})
+	rng := New(2)
+	for i := 0; i < 10000; i++ {
+		if a.Draw(rng) != 1 {
+			t.Fatal("negative weight drawn")
+		}
+	}
+}
+
+// Property: alias table construction never panics and always draws valid
+// indices, for arbitrary non-negative weight vectors.
+func TestAliasProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		weights := make([]float64, len(raw))
+		anyPos := false
+		for i, w := range raw {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				w = 0
+			}
+			weights[i] = math.Mod(math.Abs(w), 1e9)
+			if weights[i] > 0 {
+				anyPos = true
+			}
+		}
+		a := NewAlias(weights)
+		if !anyPos {
+			return a == nil
+		}
+		if a == nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 50; i++ {
+			k := a.Draw(rng)
+			if k < 0 || k >= len(weights) {
+				return false
+			}
+			if weights[k] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAliasSkewedWeights(t *testing.T) {
+	// Heavily skewed weights, as produced by uniqueness scores on
+	// power-law degree distributions.
+	weights := []float64{1e-9, 1e-3, 1, 1e3, 1e6}
+	a := NewAlias(weights)
+	rng := New(21)
+	counts := make([]int, len(weights))
+	const n = 1000000
+	for i := 0; i < n; i++ {
+		counts[a.Draw(rng)]++
+	}
+	// The largest weight holds ~99.9% of the mass.
+	if frac := float64(counts[4]) / n; frac < 0.997 {
+		t.Errorf("dominant weight drawn with freq %v, want ~0.999", frac)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	seen := map[int]bool{}
+	Shuffle(New(3), xs)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 7 {
+		t.Error("shuffle lost elements")
+	}
+}

@@ -1,0 +1,273 @@
+// Package sampling implements the Monte-Carlo estimation pipeline of
+// paper Section 6.1: sample r possible worlds of an uncertain graph,
+// evaluate every statistic of Section 6 on each world, and aggregate
+// into sample means, relative standard errors (Table 5) and relative
+// errors against the original graph (Table 4). Hoeffding bounds
+// (Lemma 2 / Corollary 1) are re-exported through mathx.
+package sampling
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"uncertaingraph/internal/anf"
+	"uncertaingraph/internal/bfs"
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/randx"
+	"uncertaingraph/internal/stats"
+	"uncertaingraph/internal/uncertain"
+)
+
+// StatNames lists the ten scalar statistics of paper Table 4, in the
+// paper's column order.
+var StatNames = []string{
+	"S_NE", "S_AD", "S_MD", "S_DV", "S_PL",
+	"S_APD", "S_DiamLB", "S_EDiam", "S_CL", "S_CC",
+}
+
+// DistanceMethod selects how per-world distance distributions are
+// computed.
+type DistanceMethod int
+
+const (
+	// DistanceANF uses HyperANF, the paper's method — scalable,
+	// approximate.
+	DistanceANF DistanceMethod = iota
+	// DistanceExactBFS runs a BFS from every vertex — exact, for small
+	// worlds and validation.
+	DistanceExactBFS
+	// DistanceSampledBFS scales up BFS trees from a subset of sources.
+	DistanceSampledBFS
+)
+
+// Config tunes the estimation run.
+type Config struct {
+	// Worlds is the number r of sampled possible worlds (paper: 100).
+	Worlds int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Distances selects the per-world distance estimator.
+	Distances DistanceMethod
+	// ANFBits is the HyperANF register exponent (0 -> 7).
+	ANFBits int
+	// BFSSources is the source count for DistanceSampledBFS (0 -> 256).
+	BFSSources int
+	// PowerLawMinDegree is the S_PL fit cutoff (0 -> stats default).
+	PowerLawMinDegree int
+	// EffectiveDiameterQ is the S_EDiam quantile (0 -> 0.9).
+	EffectiveDiameterQ float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Worlds <= 0 {
+		c.Worlds = 100
+	}
+	if c.BFSSources <= 0 {
+		c.BFSSources = 256
+	}
+	if c.EffectiveDiameterQ == 0 {
+		c.EffectiveDiameterQ = 0.9
+	}
+	return c
+}
+
+// Report aggregates per-world statistic values.
+type Report struct {
+	// Samples[name][i] is the statistic value on the i-th world, keyed
+	// by StatNames.
+	Samples map[string][]float64
+	// ExactNE and ExactAD are the closed-form expectations of S_NE and
+	// S_AD (Section 6.2), available without sampling.
+	ExactNE, ExactAD float64
+}
+
+// Mean returns the sample mean of a named statistic.
+func (r *Report) Mean(name string) float64 {
+	m, _ := mathx.MeanStd(r.Samples[name])
+	return m
+}
+
+// RelSEM returns the relative standard error of the mean (Table 5).
+func (r *Report) RelSEM(name string) float64 {
+	return mathx.RelativeSEM(r.Samples[name])
+}
+
+// RelErr returns |mean - real|/|real| (Table 4) for a named statistic.
+func (r *Report) RelErr(name string, real float64) float64 {
+	return mathx.RelAbsErr(r.Mean(name), real)
+}
+
+// ScalarsOf evaluates the ten paper statistics on a single certain
+// graph (used both per-world and on originals for the "real" rows).
+func ScalarsOf(g *graph.Graph, cfg Config, seed int64) map[string]float64 {
+	cfg = cfg.withDefaults()
+	out := make(map[string]float64, len(StatNames))
+	out["S_NE"] = stats.NumEdges(g)
+	out["S_AD"] = stats.AvgDegree(g)
+	out["S_MD"] = stats.MaxDegree(g)
+	out["S_DV"] = stats.DegreeVariance(g)
+	out["S_PL"] = stats.PowerLawExponent(g, cfg.PowerLawMinDegree)
+	var dd stats.DistanceDistribution
+	switch cfg.Distances {
+	case DistanceExactBFS:
+		dd = bfs.DistanceDistribution(g)
+	case DistanceSampledBFS:
+		dd = bfs.SampledDistanceDistribution(g, cfg.BFSSources, randx.New(seed))
+	default:
+		dd = anf.DistanceDistribution(g, anf.Options{Bits: cfg.ANFBits, Seed: uint64(seed)})
+	}
+	out["S_APD"] = dd.AvgDistance()
+	out["S_DiamLB"] = float64(dd.Diameter())
+	out["S_EDiam"] = dd.EffectiveDiameter(cfg.EffectiveDiameterQ)
+	out["S_CL"] = dd.ConnectivityLength()
+	out["S_CC"] = stats.ClusteringCoefficient(g)
+	return out
+}
+
+// Run samples cfg.Worlds possible worlds of ug and evaluates all ten
+// statistics on each, in parallel across worlds. Results are
+// deterministic for a fixed Config.
+func Run(ug *uncertain.Graph, cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	report := &Report{
+		Samples: make(map[string][]float64, len(StatNames)),
+		ExactNE: ug.ExpectedNumEdges(),
+		ExactAD: ug.ExpectedAverageDegree(),
+	}
+	for _, name := range StatNames {
+		report.Samples[name] = make([]float64, cfg.Worlds)
+	}
+	// Pre-derive one seed per world from the master seed so that the
+	// parallel schedule cannot affect results.
+	master := randx.New(cfg.Seed)
+	seeds := make([]int64, cfg.Worlds)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Worlds {
+		workers = cfg.Worlds
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				world := ug.SampleWorld(randx.New(seeds[i]))
+				vals := ScalarsOf(world, cfg, seeds[i])
+				mu.Lock()
+				for name, v := range vals {
+					report.Samples[name][i] = v
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Worlds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return report
+}
+
+// VectorFn maps a certain graph to a vector statistic (degree
+// distribution, distance distribution fractions, ...).
+type VectorFn func(g *graph.Graph, seed int64) []float64
+
+// RunVector evaluates a vector statistic on each sampled world,
+// returning one row per world (rows may have different lengths; callers
+// typically pad or box-summarize).
+func RunVector(ug *uncertain.Graph, cfg Config, fn VectorFn) [][]float64 {
+	cfg = cfg.withDefaults()
+	master := randx.New(cfg.Seed)
+	seeds := make([]int64, cfg.Worlds)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+	rows := make([][]float64, cfg.Worlds)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Worlds {
+		workers = cfg.Worlds
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				world := ug.SampleWorld(randx.New(seeds[i]))
+				rows[i] = fn(world, seeds[i])
+			}
+		}()
+	}
+	for i := 0; i < cfg.Worlds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return rows
+}
+
+// Box summarizes one coordinate of a vector statistic across worlds:
+// the five-number summary drawn as a boxplot in paper Figures 2 and 3.
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Boxes computes per-index five-number summaries over world rows; rows
+// shorter than the longest are treated as zero beyond their length.
+func Boxes(rows [][]float64) []Box {
+	maxLen := 0
+	for _, r := range rows {
+		if len(r) > maxLen {
+			maxLen = len(r)
+		}
+	}
+	out := make([]Box, maxLen)
+	col := make([]float64, 0, len(rows))
+	for i := 0; i < maxLen; i++ {
+		col = col[:0]
+		for _, r := range rows {
+			if i < len(r) {
+				col = append(col, r[i])
+			} else {
+				col = append(col, 0)
+			}
+		}
+		out[i] = boxOf(col)
+	}
+	return out
+}
+
+func boxOf(xs []float64) Box {
+	s := append([]float64(nil), xs...)
+	sortFloats(s)
+	q := func(p float64) float64 {
+		if len(s) == 1 {
+			return s[0]
+		}
+		pos := p * float64(len(s)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 >= len(s) {
+			return s[len(s)-1]
+		}
+		return s[lo]*(1-frac) + s[lo+1]*frac
+	}
+	return Box{Min: s[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: s[len(s)-1]}
+}
+
+func sortFloats(s []float64) { sort.Float64s(s) }
+
+// String renders a Box compactly for reports.
+func (b Box) String() string {
+	return fmt.Sprintf("[%.4g %.4g %.4g %.4g %.4g]", b.Min, b.Q1, b.Median, b.Q3, b.Max)
+}

@@ -1,0 +1,73 @@
+// Package stats implements the graph statistics of paper Section 6 used
+// to measure the utility of published graphs: the degree-based scalars
+// S_NE, S_AD, S_MD, S_DV and the power-law exponent S_PL (§6.2), the
+// degree distribution S_DD, the clustering coefficient S_CC with the
+// paper's triangle/connected-triple definition (§6.4), and the
+// distance-based family S_APD, S_EDiam, S_CL, S_PDD, S_Diam (§6.3)
+// expressed over a DistanceDistribution that either exact BFS
+// (internal/bfs) or HyperANF (internal/anf) produces.
+package stats
+
+import (
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/mathx"
+)
+
+// NumEdges returns S_NE.
+func NumEdges(g *graph.Graph) float64 { return float64(g.NumEdges()) }
+
+// AvgDegree returns S_AD = 2m/n.
+func AvgDegree(g *graph.Graph) float64 { return g.AverageDegree() }
+
+// MaxDegree returns S_MD.
+func MaxDegree(g *graph.Graph) float64 { return float64(g.MaxDegree()) }
+
+// DegreeVariance returns S_DV = (1/n) Σ (d_v - S_AD)^2, the graph
+// heterogeneity index of Snijders cited by the paper.
+func DegreeVariance(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	avg := g.AverageDegree()
+	var ss float64
+	for v := 0; v < n; v++ {
+		d := float64(g.Degree(v)) - avg
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// DegreeDistribution returns S_DD: ∆(d) = fraction of vertices with
+// degree d, for 0 <= d <= MaxDegree.
+func DegreeDistribution(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	hist := g.DegreeHistogram()
+	out := make([]float64, len(hist))
+	if n == 0 {
+		return out
+	}
+	for d, c := range hist {
+		out[d] = float64(c) / float64(n)
+	}
+	return out
+}
+
+// DefaultPowerLawMinDegree is the lower cutoff for the S_PL fit; the
+// paper fits "ignoring smaller degrees" where the power law is poor.
+const DefaultPowerLawMinDegree = 4
+
+// PowerLawExponent returns S_PL: the least-squares slope of the log-log
+// degree frequency plot over degrees >= minDegree (0 selects the
+// default cutoff). Graphs whose usable histogram has fewer than two
+// points yield 0.
+func PowerLawExponent(g *graph.Graph, minDegree int) float64 {
+	if minDegree <= 0 {
+		minDegree = DefaultPowerLawMinDegree
+	}
+	slope, err := mathx.PowerLawExponent(DegreeDistribution(g), minDegree)
+	if err != nil {
+		return 0
+	}
+	return slope
+}

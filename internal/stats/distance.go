@@ -1,0 +1,106 @@
+package stats
+
+import "math"
+
+// DistanceDistribution is S_PDD: Counts[d] holds the (possibly
+// estimated) number of unordered vertex pairs at shortest-path distance
+// d (Counts[0] is unused and zero), and Disconnected the number of
+// pairs with no path. Exact BFS (internal/bfs) and HyperANF
+// (internal/anf) both produce this shape; all distance-based scalar
+// statistics of §6.3 derive from it.
+type DistanceDistribution struct {
+	Counts       []float64
+	Disconnected float64
+}
+
+// ConnectedPairs returns the number of path-connected unordered pairs.
+func (d DistanceDistribution) ConnectedPairs() float64 {
+	var total float64
+	for _, c := range d.Counts {
+		total += c
+	}
+	return total
+}
+
+// TotalPairs returns connected plus disconnected pairs.
+func (d DistanceDistribution) TotalPairs() float64 {
+	return d.ConnectedPairs() + d.Disconnected
+}
+
+// AvgDistance returns S_APD: the mean distance over path-connected
+// pairs, or 0 if there are none.
+func (d DistanceDistribution) AvgDistance() float64 {
+	total := d.ConnectedPairs()
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	for dist, c := range d.Counts {
+		sum += float64(dist) * c
+	}
+	return sum / total
+}
+
+// EffectiveDiameter returns S_EDiam at quantile q (the paper uses 0.9):
+// the linearly-interpolated distance at which a q-fraction of the finite
+// pairwise distances is covered.
+func (d DistanceDistribution) EffectiveDiameter(q float64) float64 {
+	total := d.ConnectedPairs()
+	if total == 0 {
+		return 0
+	}
+	target := q * total
+	var cum float64
+	for dist := 1; dist < len(d.Counts); dist++ {
+		next := cum + d.Counts[dist]
+		if next >= target {
+			if d.Counts[dist] == 0 {
+				return float64(dist)
+			}
+			// Interpolate within this distance bucket.
+			return float64(dist-1) + (target-cum)/d.Counts[dist]
+		}
+		cum = next
+	}
+	return float64(len(d.Counts) - 1)
+}
+
+// ConnectivityLength returns S_CL: the harmonic mean of pairwise
+// distances over all pairs, with 1/dist = 0 for disconnected pairs
+// (Marchiori–Latora), so it is defined even for disconnected graphs.
+func (d DistanceDistribution) ConnectivityLength() float64 {
+	var invSum float64
+	for dist := 1; dist < len(d.Counts); dist++ {
+		invSum += d.Counts[dist] / float64(dist)
+	}
+	if invSum == 0 {
+		return math.Inf(1)
+	}
+	return d.TotalPairs() / invSum
+}
+
+// Diameter returns the largest distance with positive (estimated)
+// count: exact on BFS-derived distributions, the lower bound S_DiamLB
+// on HyperANF-derived ones.
+func (d DistanceDistribution) Diameter() int {
+	for dist := len(d.Counts) - 1; dist >= 1; dist-- {
+		if d.Counts[dist] > 0 {
+			return dist
+		}
+	}
+	return 0
+}
+
+// Fractions returns Counts normalized by the number of connected pairs
+// (the series plotted in paper Figure 2).
+func (d DistanceDistribution) Fractions() []float64 {
+	total := d.ConnectedPairs()
+	out := make([]float64, len(d.Counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range d.Counts {
+		out[i] = c / total
+	}
+	return out
+}

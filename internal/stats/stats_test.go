@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"uncertaingraph/internal/gen"
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/randx"
+)
+
+func k3() *graph.Graph {
+	return graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}})
+}
+
+func path3() *graph.Graph {
+	return graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}})
+}
+
+func TestDegreeScalars(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 2, V: 3}})
+	if NumEdges(g) != 4 {
+		t.Error("NumEdges")
+	}
+	if AvgDegree(g) != 2 {
+		t.Error("AvgDegree")
+	}
+	if MaxDegree(g) != 3 {
+		t.Error("MaxDegree")
+	}
+	// Degrees 3,1,2,2; mean 2; variance = (1+1+0+0)/4 = 0.5.
+	if got := DegreeVariance(g); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("DegreeVariance = %v, want 0.5", got)
+	}
+}
+
+func TestDegreeDistributionSumsToOne(t *testing.T) {
+	g := gen.HolmeKim(randx.New(1), 500, 3, 0.3)
+	dd := DegreeDistribution(g)
+	var sum float64
+	for _, f := range dd {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("degree distribution sums to %v", sum)
+	}
+}
+
+func TestClusteringCoefficientPaperExample3(t *testing.T) {
+	// S_CC[K3] = 1 and S_CC[path] = 0, exactly as in Example 3.
+	if got := ClusteringCoefficient(k3()); got != 1 {
+		t.Errorf("S_CC[K3] = %v, want 1", got)
+	}
+	if got := ClusteringCoefficient(path3()); got != 0 {
+		t.Errorf("S_CC[path] = %v, want 0", got)
+	}
+}
+
+func TestCountTrianglesKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"K3", k3(), 1},
+		{"path", path3(), 0},
+		{"K4", gen.ErdosRenyiGNP(randx.New(1), 4, 1), 4},
+		{"K5", gen.ErdosRenyiGNP(randx.New(1), 5, 1), 10},
+		{"C5", graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 0}}), 0},
+	}
+	for _, c := range cases {
+		if got := CountTriangles(c.g); got != c.want {
+			t.Errorf("%s: T3 = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCountTrianglesMatchesBruteForce(t *testing.T) {
+	g := gen.ErdosRenyiGNP(randx.New(2), 60, 0.15)
+	var want int64
+	n := g.NumVertices()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if g.HasEdge(a, c) && g.HasEdge(b, c) {
+					want++
+				}
+			}
+		}
+	}
+	if got := CountTriangles(g); got != want {
+		t.Errorf("T3 = %d, brute force %d", got, want)
+	}
+}
+
+func TestConnectedTriples(t *testing.T) {
+	// K3: sum C(2,2) = 3 paths, minus 2*1 = 1.
+	if got := ConnectedTriples(k3()); got != 1 {
+		t.Errorf("T2[K3] = %d, want 1", got)
+	}
+	if got := ConnectedTriples(path3()); got != 1 {
+		t.Errorf("T2[path] = %d, want 1", got)
+	}
+	// Star on 5 vertices: C(4,2) = 6 open triples, no triangles.
+	star := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}})
+	if got := ConnectedTriples(star); got != 6 {
+		t.Errorf("T2[star] = %d, want 6", got)
+	}
+}
+
+func TestPowerLawExponentOnGeneratedGraph(t *testing.T) {
+	// A BA graph has a clear decreasing power-law tail: the fitted slope
+	// must be markedly negative; an ER graph's Poisson tail decays
+	// faster than any power law over the same range.
+	ba := gen.BarabasiAlbert(randx.New(3), 8000, 3)
+	slope := PowerLawExponent(ba, 4)
+	if slope >= -1 {
+		t.Errorf("BA power-law slope = %v, want < -1", slope)
+	}
+	if PowerLawExponent(graph.NewBuilder(5).Build(), 1) != 0 {
+		t.Error("degenerate graph should yield 0")
+	}
+}
+
+func TestDistanceDistributionScalars(t *testing.T) {
+	// Path 0-1-2: distances 1 (x2), 2 (x1).
+	d := DistanceDistribution{Counts: []float64{0, 2, 1}}
+	if got := d.AvgDistance(); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("APD = %v, want 4/3", got)
+	}
+	if got := d.Diameter(); got != 2 {
+		t.Errorf("Diameter = %d, want 2", got)
+	}
+	if got := d.ConnectedPairs(); got != 3 {
+		t.Errorf("ConnectedPairs = %v", got)
+	}
+	// Harmonic mean over all pairs: 3 / (2/1 + 1/2) = 1.2.
+	if got := d.ConnectivityLength(); math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("S_CL = %v, want 1.2", got)
+	}
+}
+
+func TestConnectivityLengthWithDisconnected(t *testing.T) {
+	// Two pairs at distance 1, one disconnected pair: total pairs 3,
+	// invSum = 2, S_CL = 1.5.
+	d := DistanceDistribution{Counts: []float64{0, 2}, Disconnected: 1}
+	if got := d.ConnectivityLength(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("S_CL = %v, want 1.5", got)
+	}
+	empty := DistanceDistribution{Counts: []float64{0}, Disconnected: 3}
+	if !math.IsInf(empty.ConnectivityLength(), 1) {
+		t.Error("no connected pairs should give +Inf connectivity length")
+	}
+}
+
+func TestEffectiveDiameter(t *testing.T) {
+	// 10 pairs at distance 1, 10 at distance 2: the 90% point falls
+	// inside the second bucket: 1 + (18-10)/10 = 1.8.
+	d := DistanceDistribution{Counts: []float64{0, 10, 10}}
+	if got := d.EffectiveDiameter(0.9); math.Abs(got-1.8) > 1e-12 {
+		t.Errorf("S_EDiam = %v, want 1.8", got)
+	}
+	// All mass at distance 1: quantile inside first bucket.
+	d1 := DistanceDistribution{Counts: []float64{0, 10}}
+	if got := d1.EffectiveDiameter(0.9); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("S_EDiam = %v, want 0.9", got)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	d := DistanceDistribution{Counts: []float64{0, 3, 1}}
+	f := d.Fractions()
+	if math.Abs(f[1]-0.75) > 1e-12 || math.Abs(f[2]-0.25) > 1e-12 {
+		t.Errorf("fractions = %v", f)
+	}
+}

@@ -1,0 +1,108 @@
+package uncertain
+
+// This file provides closed-form expectations of non-linear statistics
+// that the paper mentions but does not spell out (Section 6.2 notes
+// that E[S_DV] "can be computed precisely... the cost of evaluating the
+// corresponding formulas is quadratic in the number of vertices" and
+// omits them; with the candidate-set representation the cost is in fact
+// linear in |E_C|). Expectations of triangle counts follow the same
+// independence argument. These exact values complement the sampling
+// estimator and are used in tests as ground truth for it.
+
+// ExpectedDegreeVariance returns E[S_DV] for
+// S_DV = (1/n) Σ_v (d_v - S_AD)^2 where S_AD = (2/n) Σ_e X_e.
+//
+// Writing S_DV = (1/n) Σ_v d_v^2 - S_AD^2 and using independence of the
+// candidate-pair indicators:
+//
+//	E[d_v^2]   = Var(d_v) + E[d_v]^2,  Var(d_v) = Σ_{e∋v} p_e(1-p_e)
+//	E[S_AD^2]  = Var(S_AD) + E[S_AD]^2, Var(S_AD) = (4/n^2) Σ_e p_e(1-p_e)
+//
+// so every term is a sum over candidate pairs.
+func (g *Graph) ExpectedDegreeVariance() float64 {
+	n := float64(g.n)
+	if n == 0 {
+		return 0
+	}
+	var sumSq float64 // Σ_v E[d_v^2]
+	for v := 0; v < g.n; v++ {
+		var mu, varv float64
+		for _, idx := range g.inc[v] {
+			p := g.pairs[idx].P
+			mu += p
+			varv += p * (1 - p)
+		}
+		sumSq += varv + mu*mu
+	}
+	var varSum float64 // Σ_e p(1-p)
+	var muSum float64  // Σ_e p
+	for _, pr := range g.pairs {
+		varSum += pr.P * (1 - pr.P)
+		muSum += pr.P
+	}
+	muAD := 2 * muSum / n
+	varAD := 4 * varSum / (n * n)
+	return sumSq/n - (varAD + muAD*muAD)
+}
+
+// ExpectedTriangles returns E[T3]: by linearity, the sum over vertex
+// triples whose three pairs are all candidates of the product of their
+// probabilities. Enumeration follows candidate adjacency, so the cost
+// is O(Σ_v inc(v)^2) rather than cubic.
+func (g *Graph) ExpectedTriangles() float64 {
+	// probTo[w] = probability of candidate pair (v, w) for current v.
+	probTo := make(map[int]float64, 64)
+	var total float64
+	for v := 0; v < g.n; v++ {
+		// Only count triangles whose lowest vertex is v: neighbors u, w
+		// of v with v < u < w and (u, w) a candidate.
+		for k := range probTo {
+			delete(probTo, k)
+		}
+		for _, idx := range g.inc[v] {
+			pr := g.pairs[idx]
+			other := pr.U
+			if other == v {
+				other = pr.V
+			}
+			if other > v && pr.P > 0 {
+				probTo[other] = pr.P
+			}
+		}
+		for u, pu := range probTo {
+			for _, idx := range g.inc[u] {
+				pr := g.pairs[idx]
+				w := pr.U
+				if w == u {
+					w = pr.V
+				}
+				if w <= u || pr.P == 0 {
+					continue
+				}
+				if pw, ok := probTo[w]; ok {
+					total += pu * pw * pr.P
+				}
+			}
+		}
+	}
+	return total
+}
+
+// ExpectedConnectedTriples returns E[T2] under the paper's definition
+// T2 = Σ_v C(d_v, 2) - 2*T3. E[C(d_v,2)] = (E[d_v^2] - E[d_v])/2, and
+// E[d_v^2] follows from the Poisson-binomial moments as in
+// ExpectedDegreeVariance.
+func (g *Graph) ExpectedConnectedTriples() float64 {
+	var paths float64
+	for v := 0; v < g.n; v++ {
+		var mu, varv float64
+		for _, idx := range g.inc[v] {
+			p := g.pairs[idx].P
+			mu += p
+			varv += p * (1 - p)
+		}
+		sq := varv + mu*mu
+		paths += (sq - mu) / 2
+	}
+	return paths - 2*g.ExpectedTriangles()
+}

@@ -1,0 +1,150 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/randx"
+)
+
+// sampleStat averages a statistic of sampled worlds.
+func sampleStat(t *testing.T, g *Graph, worlds int, stat func(*graph.Graph) float64) float64 {
+	t.Helper()
+	rng := randx.New(99)
+	var sum float64
+	for i := 0; i < worlds; i++ {
+		sum += stat(g.SampleWorld(rng))
+	}
+	return sum / float64(worlds)
+}
+
+func degreeVariance(w *graph.Graph) float64 {
+	n := w.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	avg := w.AverageDegree()
+	var ss float64
+	for v := 0; v < n; v++ {
+		d := float64(w.Degree(v)) - avg
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+func countTriangles(w *graph.Graph) float64 {
+	var t3 float64
+	n := w.NumVertices()
+	for v := 0; v < n; v++ {
+		nbrs := w.Neighbors(v)
+		for i := 0; i < len(nbrs); i++ {
+			if nbrs[i] < v {
+				continue
+			}
+			for j := i + 1; j < len(nbrs); j++ {
+				if w.HasEdge(nbrs[i], nbrs[j]) {
+					t3++
+				}
+			}
+		}
+	}
+	return t3
+}
+
+func connectedTriples(w *graph.Graph) float64 {
+	var paths float64
+	for v := 0; v < w.NumVertices(); v++ {
+		d := float64(w.Degree(v))
+		paths += d * (d - 1) / 2
+	}
+	return paths - 2*countTriangles(w)
+}
+
+func TestExpectedDegreeVarianceOnCertainGraph(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 2, V: 3}})
+	ug := FromCertain(g)
+	// Degrees 3,1,2,2 -> mean 2, variance 0.5; no randomness.
+	if got := ug.ExpectedDegreeVariance(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("E[S_DV] = %v, want 0.5", got)
+	}
+}
+
+func TestExpectedDegreeVarianceMatchesSampling(t *testing.T) {
+	g := figure1b(t)
+	want := sampleStat(t, g, 200000, degreeVariance)
+	got := g.ExpectedDegreeVariance()
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("E[S_DV] closed form %v vs sampled %v", got, want)
+	}
+}
+
+func TestExpectedTrianglesFigure1(t *testing.T) {
+	g := figure1b(t)
+	// Triples with all three pairs candidates: (v1,v2,v3): .7*.9*.8;
+	// (v1,v2,v4): .7*.8*.1; (v1,v3,v4): .9*.8*0; (v2,v3,v4): .8*.1*0.
+	want := 0.7*0.9*0.8 + 0.7*0.8*0.1
+	if got := g.ExpectedTriangles(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("E[T3] = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedTrianglesMatchesSampling(t *testing.T) {
+	g := figure1b(t)
+	want := sampleStat(t, g, 100000, countTriangles)
+	if got := g.ExpectedTriangles(); math.Abs(got-want) > 0.02 {
+		t.Errorf("E[T3] closed form %v vs sampled %v", got, want)
+	}
+}
+
+func TestExpectedConnectedTriplesMatchesSampling(t *testing.T) {
+	g := figure1b(t)
+	want := sampleStat(t, g, 100000, connectedTriples)
+	if got := g.ExpectedConnectedTriples(); math.Abs(got-want)/want > 0.01 {
+		t.Errorf("E[T2] closed form %v vs sampled %v", got, want)
+	}
+}
+
+func TestExpectedTrianglesCertainGraph(t *testing.T) {
+	// K4 has 4 triangles.
+	b := graph.NewBuilder(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	ug := FromCertain(b.Build())
+	if got := ug.ExpectedTriangles(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("E[T3] on K4 = %v, want 4", got)
+	}
+	// T2[K4] = sum C(3,2)*4 - 2*4 = 12 - 8 = 4.
+	if got := ug.ExpectedConnectedTriples(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("E[T2] on K4 = %v, want 4", got)
+	}
+}
+
+func TestExpectedStatsOnLargerRandomUncertain(t *testing.T) {
+	// Random uncertain graph: closed forms must track sampling.
+	rng := randx.New(5)
+	var pairs []Pair
+	n := 60
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.1 {
+				pairs = append(pairs, Pair{U: u, V: v, P: rng.Float64()})
+			}
+		}
+	}
+	g, err := New(n, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDV := sampleStat(t, g, 20000, degreeVariance)
+	if got := g.ExpectedDegreeVariance(); math.Abs(got-wantDV)/wantDV > 0.03 {
+		t.Errorf("E[S_DV] %v vs sampled %v", got, wantDV)
+	}
+	wantT3 := sampleStat(t, g, 20000, countTriangles)
+	if got := g.ExpectedTriangles(); math.Abs(got-wantT3)/(wantT3+1) > 0.05 {
+		t.Errorf("E[T3] %v vs sampled %v", got, wantT3)
+	}
+}

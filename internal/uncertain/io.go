@@ -1,0 +1,103 @@
+package uncertain
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+func logOrNegInf(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// Write serializes the uncertain graph as a header comment followed by
+// one "u v p" line per candidate pair.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# uncertain graph: vertices=%d pairs=%d\n", g.n, len(g.pairs)); err != nil {
+		return err
+	}
+	for _, pr := range g.pairs {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", pr.U, pr.V, pr.P); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write. The vertex count is taken
+// from the header if present, otherwise inferred as max id + 1.
+func Read(r io.Reader) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<22)
+	n := -1
+	var pairs []Pair
+	maxID := -1
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '#' {
+			if v, ok := parseHeaderVertices(line); ok {
+				n = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("uncertain: line %d: expected \"u v p\", got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: line %d: %w", lineNo, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: line %d: %w", lineNo, err)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: line %d: %w", lineNo, err)
+		}
+		pairs = append(pairs, Pair{U: u, V: v, P: p})
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("uncertain: reading: %w", err)
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	return New(n, pairs)
+}
+
+func parseHeaderVertices(line string) (int, bool) {
+	const key = "vertices="
+	i := strings.Index(line, key)
+	if i < 0 {
+		return 0, false
+	}
+	rest := line[i+len(key):]
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,125 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uncertaingraph/internal/graph"
+)
+
+// randomUncertain builds a valid random uncertain graph from a seed.
+func randomUncertain(seed int64, maxN int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxN-1)
+	var pairs []Pair
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.3 {
+				pairs = append(pairs, Pair{U: u, V: v, P: rng.Float64()})
+			}
+		}
+	}
+	g, err := New(n, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Property: expected number of edges equals the mean over sampled
+// worlds within Monte-Carlo tolerance, for arbitrary uncertain graphs.
+func TestQuickExpectedEdgesMatchesSampling(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomUncertain(seed, 20)
+		rng := rand.New(rand.NewSource(seed + 1))
+		const worlds = 3000
+		var sum float64
+		for i := 0; i < worlds; i++ {
+			sum += float64(g.SampleWorld(rng).NumEdges())
+		}
+		mean := sum / worlds
+		want := g.ExpectedNumEdges()
+		// 6-sigma bound: Var <= sum p(1-p) <= pairs/4.
+		tol := 6 * math.Sqrt(float64(g.NumPairs())/4/worlds)
+		return math.Abs(mean-want) <= tol+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every sampled world is a valid simple graph whose edges are
+// a subset of the candidate pairs.
+func TestQuickWorldsAreSubsetsOfCandidates(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomUncertain(seed, 15)
+		cand := map[int64]bool{}
+		for _, pr := range g.Pairs() {
+			cand[graph.PairKey(pr.U, pr.V, g.NumVertices())] = true
+		}
+		rng := rand.New(rand.NewSource(seed + 2))
+		for i := 0; i < 20; i++ {
+			w := g.SampleWorld(rng)
+			if w.Validate() != nil {
+				return false
+			}
+			ok := true
+			w.ForEachEdge(func(u, v int) {
+				if !cand[graph.PairKey(u, v, g.NumVertices())] {
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the per-vertex degree distribution has mean equal to the
+// expected degree and support within [0, incident count].
+func TestQuickDegreeDistMoments(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomUncertain(seed, 15)
+		for v := 0; v < g.NumVertices(); v++ {
+			d := g.DegreeDist(v, 0)
+			var mean, mass float64
+			for k := 0; k <= g.IncidentCount(v); k++ {
+				p := d.Prob(k)
+				if p < -1e-12 {
+					return false
+				}
+				mean += float64(k) * p
+				mass += p
+			}
+			if math.Abs(mass-1) > 1e-6 {
+				return false
+			}
+			if math.Abs(mean-g.ExpectedDegree(v)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: closed-form E[S_DV] is non-negative and zero only when all
+// degrees are deterministic and equal.
+func TestQuickExpectedDegreeVarianceNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomUncertain(seed, 18)
+		return g.ExpectedDegreeVariance() >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package uncertain implements the paper's publication object: the
+// uncertain graph G̃ = (V, p) (Definition 1), where a subset E_C of
+// vertex pairs carries edge-existence probabilities and every other pair
+// is a certain non-edge.
+//
+// The package provides possible-world sampling (each pair materializes
+// independently with its probability, Eq. 1), closed-form expected
+// degree statistics (Section 6.2), and per-vertex degree distributions
+// (Poisson-binomial over incident pairs, Section 4) that feed the
+// adversary model.
+package uncertain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/pbinom"
+)
+
+// Pair is a vertex pair carrying an edge-existence probability.
+type Pair struct {
+	U, V int
+	P    float64
+}
+
+// Graph is an uncertain graph: a fixed vertex set plus a candidate set
+// of probabilistic pairs. Pairs not listed are certain non-edges.
+type Graph struct {
+	n     int
+	pairs []Pair
+	inc   [][]int32 // per-vertex indices into pairs
+}
+
+// New constructs an uncertain graph on n vertices from the candidate
+// pairs. It rejects self-loops, out-of-range vertices, duplicate pairs,
+// and probabilities outside [0, 1].
+func New(n int, pairs []Pair) (*Graph, error) {
+	seen := make(map[int64]struct{}, len(pairs))
+	inc := make([][]int32, n)
+	stored := make([]Pair, 0, len(pairs))
+	for _, pr := range pairs {
+		if pr.U == pr.V {
+			return nil, fmt.Errorf("uncertain: self-loop at vertex %d", pr.U)
+		}
+		if pr.U < 0 || pr.V < 0 || pr.U >= n || pr.V >= n {
+			return nil, fmt.Errorf("uncertain: pair (%d,%d) out of range [0,%d)", pr.U, pr.V, n)
+		}
+		if pr.P < 0 || pr.P > 1 {
+			return nil, fmt.Errorf("uncertain: probability %v of pair (%d,%d) outside [0,1]", pr.P, pr.U, pr.V)
+		}
+		key := graph.PairKey(pr.U, pr.V, n)
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("uncertain: duplicate pair (%d,%d)", pr.U, pr.V)
+		}
+		seen[key] = struct{}{}
+		idx := int32(len(stored))
+		if pr.U > pr.V {
+			pr.U, pr.V = pr.V, pr.U
+		}
+		stored = append(stored, pr)
+		inc[pr.U] = append(inc[pr.U], idx)
+		inc[pr.V] = append(inc[pr.V], idx)
+	}
+	return &Graph{n: n, pairs: stored, inc: inc}, nil
+}
+
+// FromCertain lifts a deterministic graph into an uncertain graph whose
+// every edge has probability 1.
+func FromCertain(g *graph.Graph) *Graph {
+	pairs := make([]Pair, 0, g.NumEdges())
+	g.ForEachEdge(func(u, v int) {
+		pairs = append(pairs, Pair{U: u, V: v, P: 1})
+	})
+	ug, err := New(g.NumVertices(), pairs)
+	if err != nil {
+		// A valid certain graph cannot produce invalid pairs.
+		panic(err)
+	}
+	return ug
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumPairs returns the size of the candidate set |E_C|.
+func (g *Graph) NumPairs() int { return len(g.pairs) }
+
+// Pairs returns the candidate pairs. The slice is shared and must not be
+// modified.
+func (g *Graph) Pairs() []Pair { return g.pairs }
+
+// IncidentProbs returns the probabilities of the candidate pairs
+// incident to v, freshly allocated.
+func (g *Graph) IncidentProbs(v int) []float64 {
+	probs := make([]float64, len(g.inc[v]))
+	for i, idx := range g.inc[v] {
+		probs[i] = g.pairs[idx].P
+	}
+	return probs
+}
+
+// IncidentCount returns the number of candidate pairs incident to v.
+func (g *Graph) IncidentCount(v int) int { return len(g.inc[v]) }
+
+// ExpectedDegree returns E[d_v] = sum of incident probabilities.
+func (g *Graph) ExpectedDegree(v int) float64 {
+	var sum float64
+	for _, idx := range g.inc[v] {
+		sum += g.pairs[idx].P
+	}
+	return sum
+}
+
+// ExpectedNumEdges returns E[S_NE] = sum over pairs of p(e), the exact
+// closed form of Section 6.2.
+func (g *Graph) ExpectedNumEdges() float64 {
+	var sum float64
+	for _, pr := range g.pairs {
+		sum += pr.P
+	}
+	return sum
+}
+
+// ExpectedAverageDegree returns E[S_AD] = (2/n) * sum p(e).
+func (g *Graph) ExpectedAverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * g.ExpectedNumEdges() / float64(g.n)
+}
+
+// DegreeDist returns the distribution of v's degree in G̃: a
+// Poisson-binomial over the incident candidate probabilities, exact up
+// to threshold terms and normal-approximated beyond (threshold <= 0
+// selects pbinom.DefaultExactThreshold).
+func (g *Graph) DegreeDist(v int, threshold int) pbinom.Dist {
+	return pbinom.New(g.IncidentProbs(v), threshold)
+}
+
+// SampleWorld draws one possible world W ~ Pr(W) by materializing each
+// candidate pair independently with its probability (Eq. 1).
+func (g *Graph) SampleWorld(rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(g.n)
+	for _, pr := range g.pairs {
+		if pr.P > 0 && (pr.P >= 1 || rng.Float64() < pr.P) {
+			b.AddEdge(pr.U, pr.V)
+		}
+	}
+	return b.Build()
+}
+
+// WorldLogProb returns the log-probability ln Pr(W) of a possible world
+// given as the set of materialized candidate indices; any candidate pair
+// with p in {0, 1} must agree with the world or the result is -Inf.
+// Primarily a testing aid for the possible-world semantics.
+func (g *Graph) WorldLogProb(materialized map[int]bool) float64 {
+	var lp float64
+	for i, pr := range g.pairs {
+		if materialized[i] {
+			lp += logOrNegInf(pr.P)
+		} else {
+			lp += logOrNegInf(1 - pr.P)
+		}
+	}
+	return lp
+}

@@ -1,0 +1,47 @@
+package uncertaingraph
+
+import (
+	"math/rand"
+
+	"uncertaingraph/internal/adversary"
+	"uncertaingraph/internal/core"
+)
+
+// ObfuscationParams configures the (k, ε)-obfuscation algorithm; zero
+// fields select the paper's defaults (c=2, q=0.01, t=5, δ=1e-8).
+type ObfuscationParams = core.Params
+
+// ObfuscationResult is the output of Obfuscate: the published uncertain
+// graph, the minimal σ found, and the achieved ε̃.
+type ObfuscationResult = core.Result
+
+// ErrNoObfuscation is returned when no (k, ε)-obfuscation exists within
+// the σ search range; raising C is the paper's remedy.
+var ErrNoObfuscation = core.ErrNoObfuscation
+
+// Obfuscate runs Algorithm 1 of the paper: a binary search over the
+// noise parameter σ for the minimal uncertainty injection making g a
+// (k, ε)-obfuscation with respect to the degree property.
+func Obfuscate(g *Graph, params ObfuscationParams) (*ObfuscationResult, error) {
+	return core.Obfuscate(g, params)
+}
+
+// VerifyObfuscation independently checks whether the uncertain graph
+// k-obfuscates all but an eps-fraction of the original vertices
+// (Definition 2), given the original graph's degrees.
+func VerifyObfuscation(ug *UncertainGraph, originalDegrees []int, k, eps float64) bool {
+	return adversary.IsKEpsObfuscation(
+		adversary.UncertainModel{G: ug}, originalDegrees, k, eps)
+}
+
+// ObfuscationLevels returns each original vertex's obfuscation level
+// 2^H(Y_{deg(v)}) under the published uncertain graph: the effective
+// crowd size it hides in.
+func ObfuscationLevels(ug *UncertainGraph, originalDegrees []int) []float64 {
+	return adversary.ObfuscationLevels(
+		adversary.UncertainModel{G: ug}, originalDegrees)
+}
+
+// NewRand returns a reproducible random source for the package's
+// randomized APIs.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

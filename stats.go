@@ -1,0 +1,62 @@
+package uncertaingraph
+
+import (
+	"uncertaingraph/internal/anf"
+	"uncertaingraph/internal/bfs"
+	"uncertaingraph/internal/sampling"
+	"uncertaingraph/internal/stats"
+)
+
+// StatNames lists the ten scalar statistics of the paper's evaluation,
+// in Table 4 order: S_NE, S_AD, S_MD, S_DV, S_PL, S_APD, S_DiamLB,
+// S_EDiam, S_CL, S_CC.
+var StatNames = sampling.StatNames
+
+// EstimateConfig tunes statistic estimation on uncertain graphs.
+type EstimateConfig = sampling.Config
+
+// EstimateReport aggregates per-world statistic samples: means,
+// relative SEMs and relative errors.
+type EstimateReport = sampling.Report
+
+// Distance estimators for the distance-based statistics.
+const (
+	// DistanceANF estimates distances with HyperANF (the paper's
+	// method).
+	DistanceANF = sampling.DistanceANF
+	// DistanceExactBFS computes them exactly (small graphs).
+	DistanceExactBFS = sampling.DistanceExactBFS
+	// DistanceSampledBFS scales BFS trees from sampled sources.
+	DistanceSampledBFS = sampling.DistanceSampledBFS
+)
+
+// Statistics evaluates the ten paper statistics on a certain graph.
+func Statistics(g *Graph, cfg EstimateConfig) map[string]float64 {
+	return sampling.ScalarsOf(g, cfg, cfg.Seed)
+}
+
+// EstimateStatistics samples possible worlds of an uncertain graph and
+// returns the aggregated statistic report (paper Section 6.1).
+func EstimateStatistics(ug *UncertainGraph, cfg EstimateConfig) *EstimateReport {
+	return sampling.Run(ug, cfg)
+}
+
+// DistanceDistribution is the S_PDD shape shared by the exact and
+// estimated distance pipelines.
+type DistanceDistribution = stats.DistanceDistribution
+
+// ExactDistances computes the exact pairwise distance distribution by
+// all-sources BFS.
+func ExactDistances(g *Graph) DistanceDistribution { return bfs.DistanceDistribution(g) }
+
+// ApproxDistances estimates the distance distribution with HyperANF
+// using 2^bits registers per counter (bits = 0 selects the default).
+func ApproxDistances(g *Graph, bits int, seed uint64) DistanceDistribution {
+	return anf.DistanceDistribution(g, anf.Options{Bits: bits, Seed: seed})
+}
+
+// ClusteringCoefficient returns the paper's S_CC = T3/T2.
+func ClusteringCoefficient(g *Graph) float64 { return stats.ClusteringCoefficient(g) }
+
+// DegreeDistribution returns the fraction of vertices per degree.
+func DegreeDistribution(g *Graph) []float64 { return stats.DegreeDistribution(g) }

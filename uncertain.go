@@ -1,0 +1,36 @@
+package uncertaingraph
+
+import (
+	"io"
+	"math/rand"
+
+	"uncertaingraph/internal/uncertain"
+)
+
+// UncertainGraph is the publication object: a vertex set plus candidate
+// pairs carrying edge-existence probabilities (paper Definition 1).
+type UncertainGraph = uncertain.Graph
+
+// Pair is a vertex pair with an existence probability.
+type Pair = uncertain.Pair
+
+// NewUncertainGraph builds an uncertain graph on n vertices from
+// candidate pairs, validating vertices and probabilities.
+func NewUncertainGraph(n int, pairs []Pair) (*UncertainGraph, error) {
+	return uncertain.New(n, pairs)
+}
+
+// CertainGraph lifts a deterministic graph into an uncertain graph with
+// all-probability-one edges.
+func CertainGraph(g *Graph) *UncertainGraph { return uncertain.FromCertain(g) }
+
+// SampleWorld draws one possible world: each candidate pair
+// materializes independently with its probability (paper Eq. 1).
+func SampleWorld(g *UncertainGraph, rng *rand.Rand) *Graph { return g.SampleWorld(rng) }
+
+// ReadUncertainGraph parses the "u v p" format written by
+// WriteUncertainGraph.
+func ReadUncertainGraph(r io.Reader) (*UncertainGraph, error) { return uncertain.Read(r) }
+
+// WriteUncertainGraph serializes an uncertain graph.
+func WriteUncertainGraph(w io.Writer, g *UncertainGraph) error { return uncertain.Write(w, g) }
