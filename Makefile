@@ -1,0 +1,30 @@
+# Developer and CI entry points. `make ci` is what the GitHub Actions
+# workflow runs; each target also works standalone.
+
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode keeps the race run fast: the concurrency exercises in
+# race_test.go and the parallel engine tests all run; only the
+# toolchain-exec smoke tests and the 5k-vertex benchmark check skip.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# The headline comparison: sequential vs parallel full Algorithm 1 runs
+# on the ~5k-vertex stand-in (plus the rest of the benchmark suite via
+# `go test -bench=. .`).
+bench:
+	$(GO) test -run TestObfuscateBenchConfigEquivalence \
+		-bench 'BenchmarkObfuscate(Sequential|Parallel)' -benchtime 5x .
+
+ci: build vet test race

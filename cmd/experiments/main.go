@@ -23,14 +23,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (table2..table6, fig2..fig4, all)")
-		scale  = flag.String("scale", "tiny", "dataset scale (tiny|small|medium|large)")
-		worlds = flag.Int("worlds", 0, "sampled worlds per estimate (0 = scale default)")
-		trials = flag.Int("trials", 0, "Algorithm 2 attempts per sigma (0 = paper's 5)")
-		delta  = flag.Float64("delta", 0, "binary-search resolution (0 = 1e-8)")
-		seed   = flag.Int64("seed", 42, "random seed")
-		exact  = flag.Bool("exact-distances", false, "exact BFS distances instead of HyperANF")
-		bsamp  = flag.Int("baseline-samples", 0, "published baseline graphs averaged in table6 (0 = 50)")
+		exp     = flag.String("exp", "all", "experiment id (table2..table6, fig2..fig4, all)")
+		scale   = flag.String("scale", "tiny", "dataset scale (tiny|small|medium|large)")
+		worlds  = flag.Int("worlds", 0, "sampled worlds per estimate (0 = scale default)")
+		trials  = flag.Int("trials", 0, "Algorithm 2 attempts per sigma (0 = paper's 5)")
+		delta   = flag.Float64("delta", 0, "binary-search resolution (0 = 1e-8)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		exact   = flag.Bool("exact-distances", false, "exact BFS distances instead of HyperANF")
+		bsamp   = flag.Int("baseline-samples", 0, "published baseline graphs averaged in table6 (0 = 50)")
+		workers = flag.Int("workers", 0, "parallel workers per obfuscation run (0 = all CPUs); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		Delta:           *delta,
 		Seed:            *seed,
 		BaselineSamples: *bsamp,
+		Workers:         *workers,
 	}
 	if *exact {
 		opt.Distances = sampling.DistanceExactBFS

@@ -17,15 +17,16 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input edge list (default stdin)")
-		out    = flag.String("out", "", "output uncertain graph (default stdout)")
-		k      = flag.Float64("k", 20, "obfuscation level k")
-		eps    = flag.Float64("eps", 0.01, "tolerated fraction of non-obfuscated vertices")
-		c      = flag.Float64("c", 2, "candidate-set multiplier |E_C| = c|E|")
-		q      = flag.Float64("q", 0.01, "white-noise fraction")
-		trials = flag.Int("t", 5, "attempts per noise level")
-		delta  = flag.Float64("delta", 1e-8, "binary search resolution on sigma")
-		seed   = flag.Int64("seed", 1, "random seed")
+		in      = flag.String("in", "", "input edge list (default stdin)")
+		out     = flag.String("out", "", "output uncertain graph (default stdout)")
+		k       = flag.Float64("k", 20, "obfuscation level k")
+		eps     = flag.Float64("eps", 0.01, "tolerated fraction of non-obfuscated vertices")
+		c       = flag.Float64("c", 2, "candidate-set multiplier |E_C| = c|E|")
+		q       = flag.Float64("q", 0.01, "white-noise fraction")
+		trials  = flag.Int("t", 5, "attempts per noise level")
+		delta   = flag.Float64("delta", 1e-8, "binary search resolution on sigma")
+		seed    = flag.Int64("seed", 1, "random seed (0 behaves as 1)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
 		K: *k, Eps: *eps, C: *c, Q: *q,
 		Trials: *trials, Delta: *delta,
-		Rng: ug.NewRand(*seed),
+		Workers: *workers, Seed: *seed,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,3 @@
+module uncertaingraph
+
+go 1.22

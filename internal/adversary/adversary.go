@@ -22,9 +22,9 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 
 	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/parallel"
 	"uncertaingraph/internal/pbinom"
 	"uncertaingraph/internal/uncertain"
 )
@@ -52,6 +52,42 @@ type UncertainModel struct {
 	// ExactThreshold bounds the exact DP size; beyond it the CLT
 	// approximation is used (<= 0 selects pbinom.DefaultExactThreshold).
 	ExactThreshold int
+	// Workers bounds the parallelism of the entropy scan (<= 0 selects
+	// GOMAXPROCS). The scan's result is bit-identical for every value.
+	Workers int
+	// Quit, when non-nil and closed, abandons the scan at the next chunk
+	// boundary; the result is then unspecified and the caller must
+	// discard it. The obfuscation engine uses this to reap speculative
+	// σ probes instead of letting their scans run to completion.
+	Quit <-chan struct{}
+}
+
+// ParallelWorkers implements WorkerHinted.
+func (m UncertainModel) ParallelWorkers() int { return m.Workers }
+
+// Aborted implements Abortable.
+func (m UncertainModel) Aborted() bool {
+	select {
+	case <-m.Quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// WorkerHinted is an optional Model extension: models that carry an
+// explicit worker budget (e.g. one trial of the parallel obfuscation
+// engine, which shares cores with its sibling trials) expose it here;
+// ColumnEntropies otherwise defaults to GOMAXPROCS.
+type WorkerHinted interface {
+	ParallelWorkers() int
+}
+
+// Abortable is an optional Model extension: ColumnEntropies polls it
+// between chunks and stops scanning once it reports true, returning an
+// unspecified result the caller has agreed to discard.
+type Abortable interface {
+	Aborted() bool
 }
 
 // NumVertices implements Model.
@@ -64,14 +100,22 @@ func (m UncertainModel) VertexX(v int) Dist {
 
 // ColumnEntropies computes H(Y_ω) for every requested property value ω,
 // streaming the X columns of all vertices through entropy accumulators.
-// The vertex scan is parallelized across CPUs; determinism is preserved
-// because accumulator merging is exact (addition).
+// The vertex scan is parallelized across CPUs.
 // Preparer is an optional Model extension: models whose X columns are
 // cheaper to precompute in bulk (the baseline degree-transition models)
 // implement it, and ColumnEntropies invokes it before the parallel scan.
 type Preparer interface {
 	Prepare(omegas []int)
 }
+
+// scanChunk is the fixed vertex-range granularity of the parallel scan.
+// Chunk boundaries — and hence the order in which partial accumulators
+// merge — must not depend on the worker count: float addition is not
+// associative, so a worker-count-dependent split would make entropies
+// (and every (k, ε) decision built on them) drift between runs with
+// different parallelism. Fixed chunks merged in index order give
+// bit-identical results for any number of workers.
+const scanChunk = 512
 
 func ColumnEntropies(m Model, omegas []int) map[int]float64 {
 	if prep, ok := m.(Preparer); ok {
@@ -82,37 +126,35 @@ func ColumnEntropies(m Model, omegas []int) map[int]float64 {
 		return map[int]float64{}
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if h, ok := m.(WorkerHinted); ok && h.ParallelWorkers() > 0 {
+		workers = h.ParallelWorkers()
 	}
-	locals := make([][]mathx.EntropyAccumulator, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
+	numChunks := (n + scanChunk - 1) / scanChunk
+	aborted := func() bool { return false }
+	if ab, ok := m.(Abortable); ok {
+		aborted = ab.Aborted
+	}
+	chunkAccs := make([][]mathx.EntropyAccumulator, numChunks)
+	scan := func(c int) {
+		lo := c * scanChunk
+		hi := lo + scanChunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc := make([]mathx.EntropyAccumulator, len(omegas))
-			for v := lo; v < hi; v++ {
-				x := m.VertexX(v)
-				for i, omega := range omegas {
-					acc[i].Add(x.Prob(omega))
-				}
+		acc := make([]mathx.EntropyAccumulator, len(omegas))
+		for v := lo; v < hi; v++ {
+			x := m.VertexX(v)
+			for i, omega := range omegas {
+				acc[i].Add(x.Prob(omega))
 			}
-			locals[w] = acc
-		}(w, lo, hi)
+		}
+		chunkAccs[c] = acc
 	}
-	wg.Wait()
+	parallel.For(numChunks, workers, aborted, scan)
+	// Merge in chunk order — the same summation tree every run. Chunks
+	// may be nil only after an abort, whose result is discarded anyway.
 	merged := make([]mathx.EntropyAccumulator, len(omegas))
-	for _, acc := range locals {
+	for _, acc := range chunkAccs {
 		if acc == nil {
 			continue
 		}

@@ -4,86 +4,15 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"uncertaingraph/internal/adversary"
 	"uncertaingraph/internal/graph"
 	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/parallel"
 	"uncertaingraph/internal/randx"
 	"uncertaingraph/internal/uncertain"
 )
-
-// Params collects the inputs of Algorithms 1 and 2 with the paper's
-// experimental defaults.
-type Params struct {
-	// K is the obfuscation level k >= 1 (paper uses 20, 60, 100).
-	K float64
-	// Eps is the tolerated fraction of non-obfuscated vertices
-	// (paper uses 1e-3 and 1e-4).
-	Eps float64
-	// C is the candidate-set multiplier: |E_C| = C*|E| (zero selects
-	// the paper's 2; their fallback cases use 3). Values below 1 are
-	// raised to 1.
-	C float64
-	// Q is the white-noise fraction: each candidate pair draws its
-	// perturbation uniformly from [0,1] with this probability
-	// (paper: 0.01).
-	Q float64
-	// Trials is the number t of attempts per GenerateObfuscation call
-	// (paper: 5). Zero selects 5.
-	Trials int
-	// Delta terminates the binary search once the σ interval is shorter
-	// than this (zero selects 1e-8, matching the resolution implied by
-	// the paper's reported σ values).
-	Delta float64
-	// SigmaInit is the initial upper bound of the search (zero selects
-	// the paper's 1).
-	SigmaInit float64
-	// MaxSigma aborts the doubling phase when σ_u exceeds it (zero
-	// selects 1024).
-	MaxSigma float64
-	// ExactThreshold is the incident-pair count up to which the degree
-	// distribution is computed by the exact DP (<= 0 selects
-	// pbinom.DefaultExactThreshold).
-	ExactThreshold int
-	// Property scores vertex uniqueness; nil selects DegreeProperty.
-	Property Property
-	// DisableHExclusion skips line 2 of Algorithm 2 (the removal of the
-	// ⌈ε/2·n⌉ most unique vertices from the perturbation): an ablation
-	// knob showing why spending noise on hopeless hubs wastes the
-	// budget. Off (false) reproduces the paper.
-	DisableHExclusion bool
-	// Rng drives every random choice; nil selects a fixed-seed source so
-	// runs are reproducible by default.
-	Rng *rand.Rand
-}
-
-func (p Params) withDefaults() Params {
-	if p.C == 0 {
-		p.C = 2
-	}
-	if p.C < 1 {
-		p.C = 1
-	}
-	if p.Trials <= 0 {
-		p.Trials = 5
-	}
-	if p.Delta <= 0 {
-		p.Delta = 1e-8
-	}
-	if p.SigmaInit <= 0 {
-		p.SigmaInit = 1
-	}
-	if p.MaxSigma <= 0 {
-		p.MaxSigma = 1024
-	}
-	if p.Property == nil {
-		p.Property = DegreeProperty{}
-	}
-	if p.Rng == nil {
-		p.Rng = randx.New(1)
-	}
-	return p
-}
 
 // Attempt is the outcome of one GenerateObfuscation call.
 type Attempt struct {
@@ -100,8 +29,26 @@ func (a Attempt) Failed() bool { return math.IsInf(a.EpsTilde, 1) }
 // GenerateObfuscation is Algorithm 2: it tries (up to t times) to build
 // a (k, ε)-obfuscation of g with uncertainty parameter sigma, returning
 // the best attempt.
+//
+// Trials run on up to params.Workers goroutines, each driving an RNG
+// stream derived from (params.Seed, σ, trial index), and the winner is
+// the success with the lowest ε̃, ties broken by the lower trial index —
+// the same attempt the sequential best-of-t loop keeps. All t trials
+// are examined (a later trial may beat an earlier success), so the
+// result is bit-identical for every Workers value (including 1).
 func GenerateObfuscation(g *graph.Graph, sigma float64, params Params) Attempt {
 	params = params.withDefaults()
+	params.Seed = params.resolveSeed()
+	att, _ := generateObfuscation(g, sigma, params, nil)
+	return att
+}
+
+// generateObfuscation runs Algorithm 2 with a pre-resolved params.Seed.
+// quit, when non-nil, abandons the whole probe (used by Obfuscate to
+// discard speculative σ candidates); the second return value reports how
+// many trials the probe examines — always t, since best-of-t selection
+// must look at every trial — the work measure behind Result.Trials.
+func generateObfuscation(g *graph.Graph, sigma float64, params Params, quit <-chan struct{}) (Attempt, int) {
 	n := g.NumVertices()
 	values := params.Property.Values(g)
 	dist := params.Property.Distance
@@ -125,10 +72,10 @@ func GenerateObfuscation(g *graph.Graph, sigma float64, params Params) Attempt {
 	}
 	aliasQ := randx.NewAlias(weights)
 
-	best := Attempt{EpsTilde: math.Inf(1)}
+	failed := Attempt{EpsTilde: math.Inf(1)}
 	if aliasQ == nil {
 		// All mass excluded (tiny graphs with large ε) — cannot sample.
-		return best
+		return failed, params.Trials
 	}
 
 	degrees := g.Degrees()
@@ -137,27 +84,106 @@ func GenerateObfuscation(g *graph.Graph, sigma float64, params Params) Attempt {
 		targetEC = max
 	}
 
-	for trial := 0; trial < params.Trials; trial++ {
-		ec, ok := selectCandidates(g, aliasQ, inH, targetEC, params.Rng)
-		if !ok {
-			continue
+	// Split the worker budget between the two parallel levels: up to
+	// trialWorkers trials in flight, each scanning with scanWorkers, so
+	// one probe stays within ~params.Workers busy goroutines. (Obfuscate
+	// may hold a few speculative probes in flight on top — see Params.)
+	workers := params.workerCount()
+	trialWorkers := workers
+	if trialWorkers > params.Trials {
+		trialWorkers = params.Trials
+	}
+	scanWorkers := workers / trialWorkers
+	if scanWorkers < 1 {
+		scanWorkers = 1
+	}
+
+	// runTrial is a pure function of its trial index: all randomness
+	// comes from the (seed, σ, trial) stream, so results are independent
+	// of scheduling. It bails out between stages — and per scan chunk —
+	// when the probe was cancelled.
+	runTrial := func(trial int) Attempt {
+		if cancelled(quit) {
+			return failed
 		}
-		pairs := assignProbabilities(ec, values, uniq, sigma, params, g)
+		rng := trialRng(params.Seed, sigma, trial)
+		ec, ok := selectCandidates(g, aliasQ, inH, targetEC, rng)
+		if !ok {
+			return failed
+		}
+		pairs := assignProbabilities(ec, uniq, sigma, params, rng)
 		ug, err := uncertain.New(n, pairs)
 		if err != nil {
 			// Candidate construction guarantees validity; a failure here
 			// is a programming error worth surfacing loudly.
 			panic(err)
 		}
-		// Line 20: fraction of vertices not k-obfuscated.
-		model := adversary.UncertainModel{G: ug, ExactThreshold: params.ExactThreshold}
-		epsPrime := adversary.NotObfuscatedFraction(model, degrees, params.K)
-		// Line 21.
-		if epsPrime <= params.Eps && epsPrime < best.EpsTilde {
-			best = Attempt{EpsTilde: epsPrime, G: ug}
+		if cancelled(quit) {
+			return failed
 		}
+		// Line 20: fraction of vertices not k-obfuscated.
+		model := adversary.UncertainModel{
+			G:              ug,
+			ExactThreshold: params.ExactThreshold,
+			Workers:        scanWorkers,
+			Quit:           quit,
+		}
+		epsPrime := adversary.NotObfuscatedFraction(model, degrees, params.K)
+		if cancelled(quit) {
+			// The scan aborted early; its ε' is not the pure probe value.
+			return failed
+		}
+		// Line 21: the trial succeeds when ε' stays within the budget.
+		if epsPrime <= params.Eps {
+			return Attempt{EpsTilde: epsPrime, G: ug}
+		}
+		return failed
 	}
-	return best
+
+	// Deterministic winner under any completion order: the success with
+	// the lowest ε̃, ties broken by the lower trial index — the attempt
+	// the sequential best-of-t loop (strict `<` against the running
+	// best) keeps. Folding into a running best as trials finish, rather
+	// than collecting all t attempts, lets loser graphs (each ~c·|E|
+	// pairs) be reclaimed while later trials still run.
+	win := winner{att: failed, idx: params.Trials}
+	parallel.For(params.Trials, trialWorkers, nil, func(i int) {
+		win.offer(runTrial(i), i)
+	})
+	return win.att, params.Trials
+}
+
+// winner folds trial outcomes into the deterministic best-of-t choice:
+// lexicographic minimum of (ε̃, trial index) over the successes.
+type winner struct {
+	mu  sync.Mutex
+	att Attempt
+	idx int
+}
+
+func (w *winner) offer(att Attempt, trial int) {
+	if att.Failed() {
+		return
+	}
+	w.mu.Lock()
+	if att.EpsTilde < w.att.EpsTilde ||
+		(att.EpsTilde == w.att.EpsTilde && trial < w.idx) {
+		w.att, w.idx = att, trial
+	}
+	w.mu.Unlock()
+}
+
+// cancelled reports whether the probe's quit channel has been closed.
+func cancelled(quit <-chan struct{}) bool {
+	if quit == nil {
+		return false
+	}
+	select {
+	case <-quit:
+		return true
+	default:
+		return false
+	}
 }
 
 // candidate is one pair of E_C, flagged by whether it is an original edge.
@@ -218,8 +244,8 @@ func selectCandidates(g *graph.Graph, aliasQ *randx.Alias, inH map[int]bool, tar
 // assignProbabilities implements lines 13-19: redistribute σ over E_C in
 // proportion to pair uniqueness (Eq. 7), draw perturbations r_e from
 // R_σ(e) (or uniformly, for the q white-noise fraction), and convert
-// them to edge probabilities.
-func assignProbabilities(ec []candidate, values []int, uniq []float64, sigma float64, params Params, g *graph.Graph) []uncertain.Pair {
+// them to edge probabilities. rng is the calling trial's private stream.
+func assignProbabilities(ec []candidate, uniq []float64, sigma float64, params Params, rng *rand.Rand) []uncertain.Pair {
 	// U_σ(e) = (U_σ(P(u)) + U_σ(P(v))) / 2; Eq. 7 scales so the mean of
 	// σ(e) over E_C equals σ.
 	pairUniq := make([]float64, len(ec))
@@ -235,10 +261,10 @@ func assignProbabilities(ec []candidate, values []int, uniq []float64, sigma flo
 			sigmaE = sigma * float64(len(ec)) * pairUniq[i] / total
 		}
 		var re float64
-		if params.Q > 0 && params.Rng.Float64() < params.Q {
-			re = params.Rng.Float64()
+		if params.Q > 0 && rng.Float64() < params.Q {
+			re = rng.Float64()
 		} else {
-			re = mathx.NewTruncNormal(sigmaE).Sample(params.Rng)
+			re = mathx.NewTruncNormal(sigmaE).Sample(rng)
 		}
 		p := re
 		if c.isEdge {

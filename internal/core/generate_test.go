@@ -98,8 +98,20 @@ func TestWithDefaultsPaperValues(t *testing.T) {
 	if p.C != 2 || p.Trials != 5 || p.Delta != 1e-8 || p.SigmaInit != 1 {
 		t.Errorf("defaults = %+v", p)
 	}
-	if p.Property == nil || p.Rng == nil {
-		t.Error("nil property/rng not defaulted")
+	if p.Property == nil {
+		t.Error("nil property not defaulted")
+	}
+	if got := p.resolveSeed(); got != 1 {
+		t.Errorf("zero-value params resolve seed %d, want the historical 1", got)
+	}
+	if got := (Params{Seed: 7}).resolveSeed(); got != 7 {
+		t.Errorf("explicit seed resolves to %d, want 7", got)
+	}
+	// The legacy Rng field still pins the run: same Rng seed, same resolved seed.
+	a := Params{Rng: randx.New(5)}.resolveSeed()
+	b := Params{Rng: randx.New(5)}.resolveSeed()
+	if a != b || a == 1 {
+		t.Errorf("legacy Rng seeds resolve to %d/%d, want equal and non-default", a, b)
 	}
 	// Explicit sub-1 C clamps to 1, not to the default.
 	if got := (Params{C: 0.5}).withDefaults().C; got != 1 {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"uncertaingraph/internal/graph"
 	"uncertaingraph/internal/uncertain"
@@ -18,9 +19,12 @@ type Result struct {
 	Sigma float64
 	// EpsTilde is the achieved non-obfuscated fraction (ε̃ <= ε).
 	EpsTilde float64
-	// Generations counts GenerateObfuscation invocations, and Trials the
-	// total number of inner attempts — the work measure behind the
-	// paper's Table 3 throughput.
+	// Generations counts the GenerateObfuscation probes the sequential
+	// search consumes, and Trials the inner attempts those probes
+	// examine (t per probe — best-of-t selection looks at every trial) —
+	// the work measure behind the paper's Table 3 throughput.
+	// Speculative probes whose results are discarded are not counted,
+	// so both numbers are identical for every Workers value.
 	Generations int
 	Trials      int
 }
@@ -30,8 +34,22 @@ type Result struct {
 // the candidate multiplier c (their two (*) cases use c = 3).
 var ErrNoObfuscation = errors.New("core: no (k,eps)-obfuscation found up to MaxSigma; consider increasing C")
 
+// doublingLookahead is how many σ candidates beyond the current one the
+// feasibility phase probes speculatively (2 extra = 3 in flight, the
+// doubling phase rarely runs longer before succeeding).
+const doublingLookahead = 2
+
 // Obfuscate is Algorithm 1: it finds, by binary search over the noise
 // parameter σ, a minimal-uncertainty (k, ε)-obfuscation of g.
+//
+// Every σ probe is a pure function of (g, σ, params.Seed): the per-trial
+// RNG streams are derived from the σ bits, not from probe visit order.
+// When params.Workers > 1 the search exploits that purity by probing
+// speculatively — the next doubling candidates during the feasibility
+// phase, and the two quartile midpoints alongside each binary-search
+// midpoint — and cancels speculative probes the sequential search would
+// never visit. The returned Result (σ, ε̃, published pairs, and both
+// work counters) is bit-identical for every Workers value.
 func Obfuscate(g *graph.Graph, params Params) (*Result, error) {
 	params = params.withDefaults()
 	if params.K < 1 {
@@ -43,24 +61,40 @@ func Obfuscate(g *graph.Graph, params Params) (*Result, error) {
 	if g.NumEdges() == 0 {
 		return nil, errors.New("core: graph has no edges to obfuscate")
 	}
+	params.Seed = params.resolveSeed()
+	params.Rng = nil
+
+	pr := newProber(g, params)
+	speculate := params.workerCount() > 1
 
 	res := &Result{EpsTilde: math.Inf(1)}
-	run := func(sigma float64) Attempt {
+	consume := func(sigma float64) Attempt {
+		att, examined := pr.get(sigma)
 		res.Generations++
-		res.Trials += params.Trials
-		return GenerateObfuscation(g, sigma, params)
+		res.Trials += examined
+		return att
 	}
 
 	// Doubling phase (lines 1-6): find a feasible upper bound σ_u.
 	sigmaU := params.SigmaInit
 	var found Attempt
 	for {
-		found = run(sigmaU)
+		pr.ensure(sigmaU)
+		if speculate {
+			for i, s := 0, sigmaU*2; i < doublingLookahead && s <= params.MaxSigma; i, s = i+1, s*2 {
+				pr.ensure(s)
+			}
+		}
+		found = consume(sigmaU)
 		if !found.Failed() {
+			// The binary search stays below σ_u: speculative probes at
+			// larger σ are dead.
+			pr.cancelAbove(sigmaU)
 			break
 		}
 		sigmaU *= 2
 		if sigmaU > params.MaxSigma {
+			pr.shutdown()
 			return nil, ErrNoObfuscation
 		}
 	}
@@ -70,13 +104,149 @@ func Obfuscate(g *graph.Graph, params Params) (*Result, error) {
 	sigmaL := 0.0
 	for sigmaL+params.Delta < sigmaU {
 		sigma := (sigmaL + sigmaU) / 2
-		attempt := run(sigma)
+		pr.ensure(sigma)
+		// Speculate on the two quartiles: whichever way this midpoint
+		// resolves, the next midpoint is one of them (guarded by the
+		// same termination test the loop itself uses).
+		lowQ, highQ := (sigmaL+sigma)/2, (sigma+sigmaU)/2
+		if speculate {
+			if sigmaL+params.Delta < sigma {
+				pr.ensure(lowQ)
+			}
+			if sigma+params.Delta < sigmaU {
+				pr.ensure(highQ)
+			}
+		}
+		attempt := consume(sigma)
 		if attempt.Failed() {
 			sigmaL = sigma
+			pr.cancel(lowQ) // the search moved above σ; [σ_l, σ) is dead
 		} else {
 			sigmaU = sigma
 			res.G, res.Sigma, res.EpsTilde = attempt.G, sigma, attempt.EpsTilde
+			pr.cancel(highQ) // the search moved below σ; (σ, σ_u] is dead
 		}
 	}
+	pr.shutdown()
 	return res, nil
+}
+
+// probeTask is one in-flight or finished evaluation of a σ probe.
+type probeTask struct {
+	sigma    float64
+	done     chan struct{}
+	quit     chan struct{}
+	quitOnce sync.Once
+	att      Attempt
+	examined int
+	// aborted records that the task observed its quit signal and bailed
+	// out early; its att is not the pure probe value and must never be
+	// consumed.
+	aborted bool
+}
+
+func (t *probeTask) cancel() { t.quitOnce.Do(func() { close(t.quit) }) }
+
+// prober evaluates σ probes asynchronously and memoizes them by σ value.
+// Because probes are pure, a memoized result is exactly what re-running
+// the probe would produce, so speculative evaluation cannot perturb the
+// search path.
+type prober struct {
+	g      *graph.Graph
+	params Params
+
+	mu    sync.Mutex
+	tasks map[float64]*probeTask
+}
+
+func newProber(g *graph.Graph, params Params) *prober {
+	return &prober{g: g, params: params, tasks: make(map[float64]*probeTask)}
+}
+
+// ensure starts evaluating σ if no live task exists for it.
+func (p *prober) ensure(sigma float64) *probeTask {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ensureLocked(sigma)
+}
+
+func (p *prober) ensureLocked(sigma float64) *probeTask {
+	if t, ok := p.tasks[sigma]; ok {
+		return t
+	}
+	t := &probeTask{
+		sigma: sigma,
+		done:  make(chan struct{}),
+		quit:  make(chan struct{}),
+	}
+	p.tasks[sigma] = t
+	go func() {
+		t.att, t.examined = generateObfuscation(p.g, sigma, p.params, t.quit)
+		t.aborted = cancelled(t.quit)
+		close(t.done)
+	}()
+	return t
+}
+
+// get blocks until the probe at σ is available and returns its attempt
+// and examined-trial count. A task cancelled before finishing is
+// discarded and re-evaluated (purity makes the retry exact); this is a
+// defensive path — the search only cancels probes it never revisits.
+func (p *prober) get(sigma float64) (Attempt, int) {
+	for {
+		t := p.ensure(sigma)
+		<-t.done
+		if !t.aborted {
+			return t.att, t.examined
+		}
+		p.mu.Lock()
+		if p.tasks[sigma] == t {
+			delete(p.tasks, sigma)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// cancel abandons the probe at σ, if one is in flight.
+func (p *prober) cancel(sigma float64) {
+	p.mu.Lock()
+	t, ok := p.tasks[sigma]
+	p.mu.Unlock()
+	if ok {
+		t.cancel()
+	}
+}
+
+// cancelAbove abandons every probe with σ strictly greater than bound —
+// used when the feasibility phase settles an upper bound (speculative
+// doublings beyond it are dead).
+func (p *prober) cancelAbove(bound float64) {
+	p.mu.Lock()
+	var doomed []*probeTask
+	for s, t := range p.tasks {
+		if s > bound {
+			doomed = append(doomed, t)
+		}
+	}
+	p.mu.Unlock()
+	for _, t := range doomed {
+		t.cancel()
+	}
+}
+
+// shutdown cancels every remaining probe and joins their goroutines, so
+// no speculative work is still reading the graph — or stealing cores
+// from the caller's next run — after Obfuscate returns. Cancellation is
+// polled between trial stages and per scan chunk, which bounds the wait.
+func (p *prober) shutdown() {
+	p.cancelAbove(0)
+	p.mu.Lock()
+	tasks := make([]*probeTask, 0, len(p.tasks))
+	for _, t := range p.tasks {
+		tasks = append(tasks, t)
+	}
+	p.mu.Unlock()
+	for _, t := range tasks {
+		<-t.done
+	}
 }

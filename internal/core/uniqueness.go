@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"uncertaingraph/internal/mathx"
 )
 
@@ -35,10 +37,19 @@ func CommonnessScores(values []int, dist func(a, b int) float64, theta float64) 
 		}
 		return out
 	}
+	// Accumulate in sorted value order: summing in map iteration order
+	// would let float rounding differ from run to run, and the scores
+	// seed the sampling distribution of every obfuscation trial — any
+	// bit drift here would break the engine's reproducibility guarantee.
+	vals := make([]int, 0, len(counts))
 	for w := range counts {
+		vals = append(vals, w)
+	}
+	sort.Ints(vals)
+	for _, w := range vals {
 		var sum float64
-		for wp, c := range counts {
-			sum += float64(c) * mathx.NormalPDF(dist(w, wp), 0, theta)
+		for _, wp := range vals {
+			sum += float64(counts[wp]) * mathx.NormalPDF(dist(w, wp), 0, theta)
 		}
 		out[w] = sum
 	}

@@ -20,7 +20,6 @@ import (
 
 	"uncertaingraph/internal/core"
 	"uncertaingraph/internal/datasets"
-	"uncertaingraph/internal/randx"
 	"uncertaingraph/internal/sampling"
 	"uncertaingraph/internal/uncertain"
 )
@@ -51,6 +50,9 @@ type Options struct {
 	Distances sampling.DistanceMethod
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the obfuscation engine's concurrency per run
+	// (0 selects GOMAXPROCS); results are identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -199,7 +201,8 @@ func (s *Suite) Obfuscate(dataset string, k, eps float64) (*ObfRun, error) {
 		params := core.Params{
 			K: k, Eps: eps, C: c, Q: s.Opt.Q,
 			Trials: s.Opt.Trials, Delta: s.Opt.Delta,
-			Rng: randx.New(s.Opt.Seed + int64(k)*1000 + int64(eps*1e7)),
+			Workers: s.Opt.Workers,
+			Seed:    s.Opt.Seed + int64(k)*1000 + int64(eps*1e7),
 		}
 		start := time.Now()
 		res, err := core.Obfuscate(d.Graph, params)

@@ -1,0 +1,47 @@
+// Package parallel provides the one concurrency primitive the
+// obfuscation engine needs: a work-stealing loop over an index range.
+// Iterations are claimed in order but may complete in any order, so
+// callers that need determinism must make each iteration independent
+// (write to its own slot, or merge under a deterministic rule).
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For invokes fn(i) for every i in [0, n), on up to workers goroutines
+// (workers <= 1 runs inline). aborted, when non-nil, is polled before
+// each claim; once it reports true the remaining iterations may be
+// skipped — callers use this to reap cancelled speculative work. All
+// spawned goroutines have returned when For does.
+func For(n, workers int, aborted func() bool, fn func(i int)) {
+	if aborted == nil {
+		aborted = func() bool { return false }
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n && !aborted(); i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !aborted() {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

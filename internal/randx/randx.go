@@ -18,6 +18,31 @@ func New(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA
+// 2014): a bijective avalanche mix whose output stream passes BigCrush.
+// It is the standard tool for deriving independent seeds from one base
+// seed, which is how the parallel trial engine gives every trial its own
+// reproducible stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Derive maps (seed, tags...) to a new seed, deterministically and with
+// good avalanche behavior: distinct tag sequences yield statistically
+// independent seeds. The obfuscation core derives one stream per
+// (σ probe, trial index) pair from a single base seed, so results do not
+// depend on how many trials run concurrently or in what order.
+func Derive(seed int64, tags ...uint64) int64 {
+	x := splitmix64(uint64(seed))
+	for _, t := range tags {
+		x = splitmix64(x ^ splitmix64(t))
+	}
+	return int64(x &^ (1 << 63)) // non-negative, matching rand.Seed conventions
+}
+
 // Alias is a Walker alias table supporting O(1) draws from a fixed
 // discrete distribution over {0, ..., n-1}.
 type Alias struct {

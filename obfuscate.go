@@ -9,6 +9,12 @@ import (
 
 // ObfuscationParams configures the (k, ε)-obfuscation algorithm; zero
 // fields select the paper's defaults (c=2, q=0.01, t=5, δ=1e-8).
+//
+// Workers bounds the engine's concurrency (0 = all CPUs): trials run in
+// parallel, the adversary scan is parallel, and the σ search probes
+// speculative candidates. Results are bit-identical for every Workers
+// value — each (σ, trial) pair derives its own RNG stream from Seed, so
+// parallelism trades wall-clock time only.
 type ObfuscationParams = core.Params
 
 // ObfuscationResult is the output of Obfuscate: the published uncertain
@@ -21,7 +27,9 @@ var ErrNoObfuscation = core.ErrNoObfuscation
 
 // Obfuscate runs Algorithm 1 of the paper: a binary search over the
 // noise parameter σ for the minimal uncertainty injection making g a
-// (k, ε)-obfuscation with respect to the degree property.
+// (k, ε)-obfuscation with respect to the degree property. The search
+// runs on params.Workers goroutines (0 = all CPUs) with a deterministic
+// result: see ObfuscationParams.
 func Obfuscate(g *Graph, params ObfuscationParams) (*ObfuscationResult, error) {
 	return core.Obfuscate(g, params)
 }

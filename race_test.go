@@ -1,0 +1,108 @@
+// Concurrency exercise for `go test -race`: these tests drive every
+// parallel component — the trial engine with speculative σ probing, the
+// adversary's chunked entropy scan, the BFS distance sampler, and the
+// possible-world sampling pipeline — from several goroutines at once
+// over shared inputs, so the race detector sees the real interleavings.
+// They are sized to stay cheap in -short mode.
+package uncertaingraph_test
+
+import (
+	"sync"
+	"testing"
+
+	ug "uncertaingraph"
+	"uncertaingraph/internal/adversary"
+	"uncertaingraph/internal/bfs"
+	"uncertaingraph/internal/core"
+	"uncertaingraph/internal/gen"
+	"uncertaingraph/internal/randx"
+	"uncertaingraph/internal/sampling"
+)
+
+func TestRaceConcurrentObfuscateTrials(t *testing.T) {
+	g := gen.HolmeKim(randx.New(21), 200, 3, 0.3)
+	var wg sync.WaitGroup
+	results := make([]*core.Result, 3)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Workers > 1 turns on both concurrent trials and speculative
+			// σ probing, even when the host has a single CPU.
+			res, err := core.Obfuscate(g, core.Params{
+				K: 3, Eps: 0.15, Trials: 3, Delta: 1e-3, Workers: 4, Seed: 5,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] == nil || results[0] == nil {
+			return // error already reported
+		}
+		if results[i].Sigma != results[0].Sigma || results[i].EpsTilde != results[0].EpsTilde {
+			t.Errorf("concurrent run %d diverged: (%v,%v) vs (%v,%v)", i,
+				results[i].Sigma, results[i].EpsTilde, results[0].Sigma, results[0].EpsTilde)
+		}
+	}
+}
+
+func TestRaceSharedAdversaryScan(t *testing.T) {
+	g := gen.HolmeKim(randx.New(22), 300, 3, 0.3)
+	att := core.GenerateObfuscation(g, 0.3, core.Params{K: 3, Eps: 0.3, Trials: 1, Seed: 2})
+	if att.Failed() {
+		t.Fatal("setup obfuscation failed")
+	}
+	degrees := g.Degrees()
+	var wg sync.WaitGroup
+	fracs := make([]float64, 4)
+	for i := range fracs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct worker counts over one shared model: the chunked
+			// scan must neither race nor change its answer.
+			model := adversary.UncertainModel{G: att.G, Workers: i + 1}
+			fracs[i] = adversary.NotObfuscatedFraction(model, degrees, 3)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(fracs); i++ {
+		if fracs[i] != fracs[0] {
+			t.Errorf("worker count %d changed the scan result: %v vs %v", i+1, fracs[i], fracs[0])
+		}
+	}
+}
+
+func TestRaceParallelScans(t *testing.T) {
+	g := gen.HolmeKim(randx.New(23), 250, 3, 0.2)
+	att := core.GenerateObfuscation(g, 0.2, core.Params{K: 2, Eps: 0.4, Trials: 1, Seed: 3})
+	if att.Failed() {
+		t.Fatal("setup obfuscation failed")
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		// bfs fans the sampled sources out over GOMAXPROCS workers.
+		dd := bfs.SampledDistanceDistribution(g, 32, ug.NewRand(4))
+		if dd.AvgDistance() <= 0 {
+			t.Error("sampled BFS produced no distances")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		// sampling.Run materializes and scores worlds in parallel.
+		rep := sampling.Run(att.G, sampling.Config{
+			Worlds: 4, Seed: 5, Distances: sampling.DistanceExactBFS,
+		})
+		if len(rep.Samples["S_NE"]) != 4 {
+			t.Error("sampling run lost worlds")
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,193 @@
+// Smoke tests for every cmd/ binary and examples/ program: build each
+// one, run it on a tiny input, and assert the exit status and the key
+// lines of its output. They catch wiring regressions (flag parsing, IO
+// formats, panic on startup) that package-level unit tests cannot see.
+// Skipped in -short mode: they exec the Go toolchain to link binaries.
+package uncertaingraph_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	smokeBuildOnce sync.Once
+	smokeBinDir    string
+	smokeBuildErr  error
+)
+
+// buildSmokeBinaries links every main package once per test run into a
+// shared temp dir; the dir is removed by TestMain when the run ends.
+func buildSmokeBinaries(t *testing.T) string {
+	t.Helper()
+	smokeBuildOnce.Do(func() {
+		smokeBinDir, smokeBuildErr = os.MkdirTemp("", "smokebin")
+		if smokeBuildErr != nil {
+			return
+		}
+		out, err := exec.Command("go", "build", "-o", smokeBinDir+string(os.PathSeparator), "./cmd/...").CombinedOutput()
+		if err != nil {
+			smokeBuildErr = &buildError{string(out), err}
+			return
+		}
+		for _, ex := range []string{
+			"quickstart", "paperexample", "queries",
+			"comparison", "socialnetwork", "sequentialrelease",
+		} {
+			out, err := exec.Command("go", "build",
+				"-o", filepath.Join(smokeBinDir, "example-"+ex), "./examples/"+ex).CombinedOutput()
+			if err != nil {
+				smokeBuildErr = &buildError{string(out), err}
+				return
+			}
+		}
+	})
+	if smokeBuildErr != nil {
+		t.Fatalf("building smoke binaries: %v", smokeBuildErr)
+	}
+	return smokeBinDir
+}
+
+type buildError struct {
+	output string
+	err    error
+}
+
+func (e *buildError) Error() string { return e.err.Error() + "\n" + e.output }
+
+// runSmoke executes a built binary and returns its combined output,
+// failing the test on a non-zero exit status.
+func runSmoke(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	dir := buildSmokeBinaries(t)
+	cmd := exec.Command(filepath.Join(dir, bin), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", bin, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func wantLines(t *testing.T, out string, needles ...string) {
+	t.Helper()
+	for _, needle := range needles {
+		if !strings.Contains(out, needle) {
+			t.Errorf("output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// smokeEdges generates a small edge list via the gengraph binary itself
+// (so the generator CLI is exercised on the way) and returns its path.
+func smokeEdges(t *testing.T) string {
+	path := filepath.Join(t.TempDir(), "smoke.edges")
+	out := runSmoke(t, "gengraph", "-model", "ba", "-n", "150", "-m", "3", "-seed", "4", "-out", path)
+	wantLines(t, out, "generated: 150 vertices")
+	return path
+}
+
+func TestSmokeGengraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the toolchain")
+	}
+	path := filepath.Join(t.TempDir(), "dblp.edges")
+	out := runSmoke(t, "gengraph", "-dataset", "dblp", "-scale", "tiny", "-out", path)
+	wantLines(t, out, "generated:", "vertices")
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Errorf("gengraph wrote no edges: %v", err)
+	}
+}
+
+func TestSmokeObfuscateAndEvaluate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the toolchain")
+	}
+	edges := smokeEdges(t)
+	ugPath := filepath.Join(t.TempDir(), "smoke.ug")
+	out := runSmoke(t, "obfuscate",
+		"-in", edges, "-k", "3", "-eps", "0.2", "-t", "2",
+		"-delta", "1e-3", "-workers", "2", "-seed", "1", "-out", ugPath)
+	wantLines(t, out, "loaded: 150 vertices", "(k=3, eps=0.2)-obfuscation found")
+
+	// The published file and a second run must agree bit-for-bit: the
+	// CLI inherits the engine's Workers-independent determinism.
+	first, err := os.ReadFile(ugPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSmoke(t, "obfuscate",
+		"-in", edges, "-k", "3", "-eps", "0.2", "-t", "2",
+		"-delta", "1e-3", "-workers", "5", "-seed", "1", "-out", ugPath)
+	second, err := os.ReadFile(ugPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("obfuscate output differs between -workers 2 and -workers 5")
+	}
+
+	out = runSmoke(t, "evaluate",
+		"-uncertain", ugPath, "-worlds", "5", "-exact-distances", "-ref", edges)
+	wantLines(t, out, "sampling 5 worlds", "S_NE", "S_CC")
+}
+
+func TestSmokeEvaluateCertain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the toolchain")
+	}
+	out := runSmoke(t, "evaluate", "-graph", smokeEdges(t), "-exact-distances")
+	wantLines(t, out, "S_NE", "S_APD")
+}
+
+func TestSmokeTrailattack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the toolchain")
+	}
+	out := runSmoke(t, "trailattack",
+		"-n", "150", "-releases", "2", "-k", "3", "-eps", "0.2",
+		"-t", "1", "-delta", "1e-3", "-targets", "20")
+	wantLines(t, out, "degree-trail attack", "certain releases:", "uncertain releases:")
+}
+
+func TestSmokeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the toolchain")
+	}
+	out := runSmoke(t, "experiments",
+		"-exp", "table2", "-scale", "tiny", "-trials", "1",
+		"-delta", "1e-3", "-workers", "2")
+	wantLines(t, out, "dblp", "flickr", "y360", "done in")
+}
+
+func TestSmokeExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the toolchain")
+	}
+	// Key output lines pinned per example; each runs without arguments.
+	cases := map[string][]string{
+		"quickstart":        {"verified (k=5", "expected edges"},
+		"paperexample":      {"(3, 0.25)-obfuscation: true", "H(Y_deg=3)"},
+		"queries":           {"reliability", "nearest neighbours"},
+		"comparison":        {"sparsification", "avg rel.err"},
+		"socialnetwork":     {"k = 5", "rel.err"},
+		"sequentialrelease": {"releases", "crowd"},
+	}
+	for name, needles := range cases {
+		t.Run(name, func(t *testing.T) {
+			out := runSmoke(t, "example-"+name)
+			wantLines(t, out, needles...)
+		})
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if smokeBinDir != "" {
+		os.RemoveAll(smokeBinDir)
+	}
+	os.Exit(code)
+}
