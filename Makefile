@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench ci
+# Label stamped onto bench-sampling runs in BENCH_sampling.json.
+BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
+
+.PHONY: build test race vet fmt-check lint bench bench-sampling ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +23,13 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Fails when any file needs gofmt; prints the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt required for:"; echo "$$out"; exit 1; fi
+
+lint: vet fmt-check
+
 # The headline comparison: sequential vs parallel full Algorithm 1 runs
 # on the ~5k-vertex stand-in (plus the rest of the benchmark suite via
 # `go test -bench=. .`).
@@ -27,4 +37,19 @@ bench:
 	$(GO) test -run TestObfuscateBenchConfigEquivalence \
 		-bench 'BenchmarkObfuscate(Sequential|Parallel)' -benchtime 5x .
 
-ci: build vet test race
+# Possible-world engine benchmarks, appended as a JSON record to
+# BENCH_sampling.json (the first record is the pre-refactor baseline;
+# see README "Graph representation & memory model"). A temp file, not a
+# pipe, carries the output so a go-test failure fails the target
+# (benchfmt additionally refuses runs whose output contains FAIL).
+bench-sampling:
+	@tmp="$$(mktemp)"; \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkSampleWorlds$$|BenchmarkSampleWorldsNaive$$|BenchmarkEstimateStatistics$$|BenchmarkEstimateStatisticsANF$$' \
+		-benchmem -benchtime 3x ./internal/sampling > "$$tmp" 2>&1; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
+	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_sampling.json < "$$tmp"; \
+	status=$$?; rm -f "$$tmp"; exit $$status
+
+ci: build lint test race

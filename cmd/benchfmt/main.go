@@ -1,0 +1,123 @@
+// Command benchfmt converts `go test -bench` output into JSON records
+// and appends them to a benchmark history file, so performance numbers
+// accumulate across PRs instead of vanishing in CI logs.
+//
+// Usage (what `make bench-sampling` runs):
+//
+//	go test -bench ... -benchmem ./internal/sampling | benchfmt -label post-csr -file BENCH_sampling.json
+//
+// The file holds a JSON array of run records, oldest first; each run
+// carries its label, timestamp, environment and parsed benchmark
+// lines. Existing records are preserved, so the first entry stays the
+// pre-refactor baseline the acceptance criteria compare against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Run is one benchmark session.
+type Run struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	label := flag.String("label", "local", "label for this run (e.g. a commit or PR id)")
+	file := flag.String("file", "BENCH_sampling.json", "history file to append to")
+	flag.Parse()
+
+	run := Run{
+		Label:     *label,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stay transparent: every raw line reaches the terminal
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			run.CPU = cpu
+		}
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") ||
+			strings.HasPrefix(line, "panic:") {
+			failed = true
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		run.Benchmarks = append(run.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if failed {
+		fatal(fmt.Errorf("benchmark run failed; nothing recorded"))
+	}
+	if len(run.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	var history []Run
+	if data, err := os.ReadFile(*file); err == nil {
+		if err := json.Unmarshal(data, &history); err != nil {
+			fatal(fmt.Errorf("existing %s is not a run array: %w", *file, err))
+		}
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+	history = append(history, run)
+	out, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*file, append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchfmt: appended %d benchmarks to %s (%d runs total)\n",
+		len(run.Benchmarks), *file, len(history))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfmt:", err)
+	os.Exit(1)
+}

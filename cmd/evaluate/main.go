@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	ug "uncertaingraph"
@@ -20,16 +21,17 @@ import (
 
 func main() {
 	var (
-		uin    = flag.String("uncertain", "", "uncertain graph input")
-		gin    = flag.String("graph", "", "certain graph input (edge list)")
-		ref    = flag.String("ref", "", "reference edge list for relative errors")
-		worlds = flag.Int("worlds", 100, "possible worlds to sample")
-		seed   = flag.Int64("seed", 1, "random seed")
-		exact  = flag.Bool("exact-distances", false, "use exact BFS instead of HyperANF")
+		uin     = flag.String("uncertain", "", "uncertain graph input")
+		gin     = flag.String("graph", "", "certain graph input (edge list)")
+		ref     = flag.String("ref", "", "reference edge list for relative errors")
+		worlds  = flag.Int("worlds", 100, "possible worlds to sample")
+		seed    = flag.Int64("seed", 1, "random seed")
+		exact   = flag.Bool("exact-distances", false, "use exact BFS instead of HyperANF")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent world evaluations (results are identical for every value)")
 	)
 	flag.Parse()
 
-	cfg := ug.EstimateConfig{Worlds: *worlds, Seed: *seed}
+	cfg := ug.EstimateConfig{Worlds: *worlds, Seed: *seed, Workers: *workers}
 	if *exact {
 		cfg.Distances = ug.DistanceExactBFS
 	}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	ug "uncertaingraph"
@@ -30,6 +31,7 @@ func main() {
 		delta    = flag.Float64("delta", 1e-4, "binary search resolution")
 		seed     = flag.Int64("seed", 1, "random seed")
 		sample   = flag.Int("targets", 200, "number of attacked targets (0 = all)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "obfuscation worker goroutines per release (results are identical for every value)")
 	)
 	flag.Parse()
 
@@ -64,7 +66,8 @@ func main() {
 	for t, s := range snaps {
 		res, err := ug.Obfuscate(s, ug.ObfuscationParams{
 			K: *k, Eps: *eps, Trials: *trials, Delta: *delta,
-			Rng: ug.NewRand(*seed + 10 + int64(t)),
+			Workers: *workers,
+			Seed:    *seed + 10 + int64(t),
 		})
 		if err != nil {
 			fatal(fmt.Errorf("release %d: %w", t, err))

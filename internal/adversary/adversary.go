@@ -98,6 +98,24 @@ func (m UncertainModel) VertexX(v int) Dist {
 	return m.G.DegreeDist(v, m.ExactThreshold)
 }
 
+// VertexXBuf implements BufferedModel: the incident probabilities are
+// staged through the scan's per-chunk buffer instead of a per-vertex
+// allocation.
+func (m UncertainModel) VertexXBuf(v int, buf []float64) (Dist, []float64) {
+	d, buf := m.G.DegreeDistBuf(v, m.ExactThreshold, buf)
+	return d, buf
+}
+
+// BufferedModel is an optional Model extension: models whose X columns
+// can be computed through a caller-owned scratch buffer implement it,
+// and the entropy scan then streams each chunk's vertices through one
+// buffer instead of allocating per vertex. Implementations must not
+// retain buf; they return the (possibly grown) buffer for the next
+// call.
+type BufferedModel interface {
+	VertexXBuf(v int, buf []float64) (Dist, []float64)
+}
+
 // ColumnEntropies computes H(Y_ω) for every requested property value ω,
 // streaming the X columns of all vertices through entropy accumulators.
 // The vertex scan is parallelized across CPUs.
@@ -134,6 +152,7 @@ func ColumnEntropies(m Model, omegas []int) map[int]float64 {
 	if ab, ok := m.(Abortable); ok {
 		aborted = ab.Aborted
 	}
+	bm, buffered := m.(BufferedModel)
 	chunkAccs := make([][]mathx.EntropyAccumulator, numChunks)
 	scan := func(c int) {
 		lo := c * scanChunk
@@ -142,8 +161,14 @@ func ColumnEntropies(m Model, omegas []int) map[int]float64 {
 			hi = n
 		}
 		acc := make([]mathx.EntropyAccumulator, len(omegas))
+		var buf []float64
 		for v := lo; v < hi; v++ {
-			x := m.VertexX(v)
+			var x Dist
+			if buffered {
+				x, buf = bm.VertexXBuf(v, buf)
+			} else {
+				x = m.VertexX(v)
+			}
 			for i, omega := range omegas {
 				acc[i].Add(x.Prob(omega))
 			}

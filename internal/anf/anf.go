@@ -66,6 +66,94 @@ func NeighbourhoodFunction(g *graph.Graph, opt Options) []float64 {
 	return nf
 }
 
+// Engine runs HyperANF repeatedly against reusable state: every
+// counter register of every vertex lives in one flat byte array that
+// is zeroed — not reallocated — between runs, and the neighbourhood
+// function and distance-count buffers are reused likewise. The
+// possible-world estimation pipeline holds one Engine per worker and
+// reuses it across all that worker's sampled worlds. An Engine runs
+// its iterations sequentially (the worlds are the parallel axis) and
+// produces bit-identical results to the package-level functions:
+// register unions are idempotent maxima, so the iteration schedule
+// cannot affect any estimate.
+type Engine struct {
+	opt       Options
+	regs      []byte
+	cur, next []hll.Counter
+	nf        []float64
+	counts    []float64
+}
+
+// NewEngine returns an engine with the given options; buffers grow on
+// first use.
+func NewEngine(opt Options) *Engine {
+	return &Engine{opt: opt.withDefaults()}
+}
+
+func (e *Engine) ensure(n int) {
+	m := hll.RegisterCount(e.opt.Bits)
+	if need := 2 * n * m; cap(e.regs) < need {
+		e.regs = make([]byte, need)
+		e.cur = make([]hll.Counter, 0, n)
+		e.next = make([]hll.Counter, 0, n)
+	} else {
+		for i := range e.regs[:need] {
+			e.regs[i] = 0
+		}
+	}
+	e.cur, e.next = e.cur[:0], e.next[:0]
+	for v := 0; v < n; v++ {
+		e.cur = append(e.cur, hll.FromRegisters(e.regs[2*v*m:(2*v+1)*m]))
+		e.next = append(e.next, hll.FromRegisters(e.regs[(2*v+1)*m:(2*v+2)*m]))
+	}
+}
+
+// NeighbourhoodFunction is the buffer-reusing form of the package
+// function; the returned slice aliases the engine and is valid until
+// the next call. seed overrides the engine options' Seed.
+func (e *Engine) NeighbourhoodFunction(g *graph.Graph, seed uint64) []float64 {
+	n := g.NumVertices()
+	e.ensure(n)
+	for v := 0; v < n; v++ {
+		e.cur[v].AddHash(hll.Hash64(uint64(v), seed))
+	}
+	e.nf = append(e.nf[:0], sumEstimates(e.cur))
+	for t := 1; t <= e.opt.MaxIter; t++ {
+		changed := iterateRange(g, e.cur, e.next, 0, n)
+		e.cur, e.next = e.next, e.cur
+		e.nf = append(e.nf, sumEstimates(e.cur))
+		if !changed {
+			break
+		}
+	}
+	return e.nf
+}
+
+// DistanceDistribution is the buffer-reusing form of the package
+// function; the returned Counts alias the engine and are valid until
+// the next call.
+func (e *Engine) DistanceDistribution(g *graph.Graph, seed uint64) stats.DistanceDistribution {
+	nf := e.NeighbourhoodFunction(g, seed)
+	n := float64(g.NumVertices())
+	e.counts = e.counts[:0]
+	var connected float64
+	e.counts = append(e.counts, 0)
+	for d := 1; d < len(nf); d++ {
+		inc := (nf[d] - nf[d-1]) / 2
+		if inc < 0 {
+			inc = 0
+		}
+		e.counts = append(e.counts, inc)
+		connected += inc
+	}
+	total := n * (n - 1) / 2
+	disconnected := total - connected
+	if disconnected < 0 {
+		disconnected = 0
+	}
+	return stats.DistanceDistribution{Counts: e.counts, Disconnected: disconnected}
+}
+
 // iterate computes next[v] = cur[v] ∪ (∪_{u ~ v} cur[u]) for all v in
 // parallel and reports whether any counter changed.
 func iterate(g *graph.Graph, cur, next []hll.Counter) bool {
@@ -88,18 +176,8 @@ func iterate(g *graph.Graph, cur, next []hll.Counter) bool {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				// Start from the previous value of v's counter.
-				copyRegisters(next[v], cur[v])
-				changed := false
-				for _, u := range g.Neighbors(v) {
-					if next[v].Union(cur[u]) {
-						changed = true
-					}
-				}
-				if changed {
-					changedBy[w] = true
-				}
+			if iterateRange(g, cur, next, lo, hi) {
+				changedBy[w] = true
 			}
 		}(w, lo, hi)
 	}
@@ -112,8 +190,24 @@ func iterate(g *graph.Graph, cur, next []hll.Counter) bool {
 	return false
 }
 
-func copyRegisters(dst, src hll.Counter) {
-	dst.CopyFrom(src)
+// iterateRange updates next[v] for v in [lo, hi) and reports whether
+// any counter in the range changed.
+func iterateRange(g *graph.Graph, cur, next []hll.Counter, lo, hi int) bool {
+	anyChanged := false
+	for v := lo; v < hi; v++ {
+		// Start from the previous value of v's counter.
+		next[v].CopyFrom(cur[v])
+		changed := false
+		for _, u := range g.Neighbors(v) {
+			if next[v].Union(cur[u]) {
+				changed = true
+			}
+		}
+		if changed {
+			anyChanged = true
+		}
+	}
+	return anyChanged
 }
 
 func sumEstimates(counters []hll.Counter) float64 {

@@ -2,6 +2,15 @@
 // breadth-first search. It is the validation oracle for the HyperANF
 // estimator (internal/anf) and the exact path for the small and
 // mid-sized graphs used in tests, examples and scaled-down experiments.
+//
+// Two entry styles are provided: the package-level functions
+// parallelize the source scan across CPUs (for one-shot evaluation of
+// a large graph), while a Scratch runs sequentially against reusable
+// dist/queue/count buffers — the shape the possible-world engine wants,
+// where worlds are already evaluated in parallel and each worker owns
+// one Scratch across its whole run. Both produce bit-identical
+// distributions: every count is an exact small integer, so summation
+// order cannot perturb the result.
 package bfs
 
 import (
@@ -22,12 +31,12 @@ func FromSource(g *graph.Graph, src int) []int {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := make([]int, 0, n)
-	queue = append(queue, src)
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(src))
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		du := dist[u]
-		for _, v := range g.Neighbors(u) {
+		for _, v := range g.Neighbors(int(u)) {
 			if dist[v] < 0 {
 				dist[v] = du + 1
 				queue = append(queue, v)
@@ -35,6 +44,108 @@ func FromSource(g *graph.Graph, src int) []int {
 		}
 	}
 	return dist
+}
+
+// Scratch holds the per-worker BFS state — distance array, frontier
+// queue and distance-count accumulator — so repeated distribution
+// computations (one per sampled possible world) allocate nothing once
+// the buffers have grown to the graph size.
+type Scratch struct {
+	dist   []int32
+	queue  []int32
+	counts []float64
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (s *Scratch) ensure(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+		s.queue = make([]int32, 0, n)
+	}
+	s.dist = s.dist[:n]
+}
+
+// run accumulates the ordered distance counts of a BFS from src into
+// s.counts and returns the number of vertices reached (excluding src).
+func (s *Scratch) run(g *graph.Graph, src int) float64 {
+	dist := s.dist
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := append(s.queue[:0], int32(src))
+	var reach float64
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u] + 1
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = du
+				queue = append(queue, v)
+				for int(du) >= len(s.counts) {
+					s.counts = append(s.counts, 0)
+				}
+				s.counts[du]++
+				reach++
+			}
+		}
+	}
+	s.queue = queue[:0]
+	return reach
+}
+
+// reset prepares the count accumulator for a fresh distribution.
+func (s *Scratch) reset() {
+	s.counts = append(s.counts[:0], 0)
+}
+
+// DistanceDistribution computes the exact pairwise distance
+// distribution sequentially, reusing s's buffers. The returned Counts
+// alias the scratch and are valid only until the next call on s.
+func (s *Scratch) DistanceDistribution(g *graph.Graph) stats.DistanceDistribution {
+	n := g.NumVertices()
+	s.ensure(n)
+	s.reset()
+	var reachable float64
+	for src := 0; src < n; src++ {
+		reachable += s.run(g, src)
+	}
+	for i := range s.counts {
+		s.counts[i] /= 2
+	}
+	totalPairs := float64(n) * float64(n-1) / 2
+	return stats.DistanceDistribution{
+		Counts:       s.counts,
+		Disconnected: totalPairs - reachable/2,
+	}
+}
+
+// SampledDistanceDistribution is the scratch form of the package-level
+// estimator; the returned Counts alias the scratch.
+func (s *Scratch) SampledDistanceDistribution(g *graph.Graph, samples int, rng *rand.Rand) stats.DistanceDistribution {
+	n := g.NumVertices()
+	if samples >= n {
+		return s.DistanceDistribution(g)
+	}
+	perm := rng.Perm(n)[:samples]
+	s.ensure(n)
+	s.reset()
+	var reachable float64
+	for _, src := range perm {
+		reachable += s.run(g, src)
+	}
+	scale := float64(n) / float64(samples) / 2
+	for i := range s.counts {
+		s.counts[i] *= scale
+	}
+	totalPairs := float64(n) * float64(n-1) / 2
+	disconnected := totalPairs - reachable*scale
+	if disconnected < 0 {
+		disconnected = 0
+	}
+	return stats.DistanceDistribution{Counts: s.counts, Disconnected: disconnected}
 }
 
 // DistanceDistribution returns the exact distribution of pairwise
@@ -83,6 +194,8 @@ func SampledDistanceDistribution(g *graph.Graph, samples int, rng *rand.Rand) st
 
 // scan runs BFS from each source and accumulates ordered distance
 // counts (source, other) and the number of ordered reachable pairs.
+// Each worker owns one Scratch for its whole source range; partial
+// counts are exact integers, so the merge is order-insensitive.
 func scan(g *graph.Graph, sources []int) (counts []float64, reachable float64) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(sources) {
@@ -109,21 +222,13 @@ func scan(g *graph.Graph, sources []int) (counts []float64, reachable float64) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			local := make([]float64, 0, 64)
+			s := NewScratch()
+			s.ensure(g.NumVertices())
 			var reach float64
 			for _, src := range sources[lo:hi] {
-				for _, d := range FromSource(g, src) {
-					if d <= 0 {
-						continue
-					}
-					for d >= len(local) {
-						local = append(local, 0)
-					}
-					local[d]++
-					reach++
-				}
+				reach += s.run(g, src)
 			}
-			results[w] = result{counts: local, reachable: reach}
+			results[w] = result{counts: s.counts, reachable: reach}
 		}(w, lo, hi)
 	}
 	wg.Wait()

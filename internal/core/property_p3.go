@@ -89,15 +89,15 @@ func (p *RadiusOneProperty) Distance(a, b int) float64 {
 // induced by v and its neighbours.
 func radiusOneSignature(g *graph.Graph, v int) r1Signature {
 	nbrs := g.Neighbors(v)
-	members := make(map[int]int, len(nbrs)+1) // vertex -> local index
-	members[v] = 0
+	members := make(map[int32]int, len(nbrs)+1) // vertex -> local index
+	members[int32(v)] = 0
 	for i, u := range nbrs {
 		members[u] = i + 1
 	}
 	deg := make([]int, len(members))
 	edges := 0
 	for u, iu := range members {
-		for _, w := range g.Neighbors(u) {
+		for _, w := range g.Neighbors(int(u)) {
 			if iw, ok := members[w]; ok {
 				deg[iu]++
 				if iu < iw {

@@ -100,7 +100,7 @@ func clusteringCoeff(g *graph.Graph) float64 {
 		triples += d * (d - 1) / 2
 		for i := 0; i < d; i++ {
 			for j := i + 1; j < d; j++ {
-				if g.HasEdge(nbrs[i], nbrs[j]) {
+				if g.HasEdge(int(nbrs[i]), int(nbrs[j])) {
 					triangles++
 				}
 			}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks that arbitrary input either fails cleanly or
+// yields a valid graph whose serialization round-trips: re-reading
+// WriteEdgeList output reproduces the same edge structure (isolated
+// vertices are the one lossy case — the format only carries edges).
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 0\n"))
+	f.Add([]byte("# comment\n% also comment\na b\nb a\nb c\n"))
+	f.Add([]byte("7 7\nx y extra tokens ignored\n\n  \n"))
+	f.Add([]byte("1000000 5\n5 1000000\n42 1000000\n"))
+	f.Add([]byte("u\tv\nv\tw\n"))
+	f.Add([]byte("only-one-token\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, ids, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v\ninput: %q", err, data)
+		}
+		if g.NumVertices() != len(ids) {
+			t.Fatalf("vertices = %d, id map has %d entries", g.NumVertices(), len(ids))
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g2, _, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v\noutput: %q", err, buf.Bytes())
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip edges = %d, want %d", g2.NumEdges(), g.NumEdges())
+		}
+		if got, want := nonZeroDegrees(g2), nonZeroDegrees(g); !equalInts(got, want) {
+			t.Fatalf("round-trip degree multiset %v, want %v", got, want)
+		}
+	})
+}
+
+func nonZeroDegrees(g *Graph) []int {
+	var out []int
+	for _, d := range g.Degrees() {
+		if d > 0 {
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEdgeListRoundTripRelabel exercises the documented parser behaviors —
+// comments, duplicate edges, self-loops, reversed duplicates, sparse
+// and non-numeric vertex ids — and checks the written form re-reads to
+// the identical structure under the first-appearance relabeling.
+func TestEdgeListRoundTripRelabel(t *testing.T) {
+	in := strings.Join([]string{
+		"# header comment",
+		"% alternate comment style",
+		"alice bob",
+		"bob alice",    // duplicate, reversed
+		"alice bob",    // duplicate, same order
+		"carol carol",  // self-loop: ignored
+		"9000000000 3", // sparse numeric ids, beyond int32
+		"3 9000000000", // duplicate of the above
+		"bob carol",
+		"",
+	}, "\n")
+	g, ids, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tokens in first-appearance order: alice bob carol 9000000000 3.
+	if len(ids) != 5 {
+		t.Fatalf("id map %v, want 5 entries", ids)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3 (duplicates and self-loop dropped)", g.NumEdges())
+	}
+	if !g.HasEdge(ids["alice"], ids["bob"]) || !g.HasEdge(ids["bob"], ids["carol"]) ||
+		!g.HasEdge(ids["9000000000"], ids["3"]) {
+		t.Fatal("expected edges missing after parse")
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# vertices=5 edges=3\n") {
+		t.Errorf("unexpected header in %q", buf.String())
+	}
+	g2, ids2, err := ReadEdgeList(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round-trip shape (%d, %d), want (%d, %d)",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	// WriteEdgeList emits dense ids as decimal strings; every edge of g
+	// must survive re-reading under that relabeling.
+	g.ForEachEdge(func(u, v int) {
+		u2, okU := ids2[strconv.Itoa(u)]
+		v2, okV := ids2[strconv.Itoa(v)]
+		if !okU || !okV || !g2.HasEdge(u2, v2) {
+			t.Fatalf("edge (%d,%d) lost in round-trip", u, v)
+		}
+	})
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

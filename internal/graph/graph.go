@@ -1,7 +1,16 @@
 // Package graph provides the undirected-graph substrate: a compact
-// immutable adjacency representation, an incremental builder, degree
-// utilities, and edge-list IO. All higher layers (uncertain graphs,
-// obfuscation, statistics) are built on this package.
+// immutable compressed-sparse-row (CSR) adjacency representation, an
+// incremental builder, degree utilities, and edge-list IO. All higher
+// layers (uncertain graphs, obfuscation, statistics) are built on this
+// package.
+//
+// The CSR layout stores every adjacency list back to back in one flat
+// int32 array, with a per-vertex offset table: Neighbors(v) is the
+// subslice neighbors[offsets[v]:offsets[v+1]], sorted ascending. One
+// graph is therefore two allocations regardless of vertex count, walks
+// are sequential in memory, and buffer-reuse engines (see
+// internal/uncertain.Sampler) can rematerialize a graph into the same
+// arrays with zero allocations.
 //
 // Vertices are dense integers 0..N-1. Self-loops and parallel edges are
 // rejected at construction, matching the paper's simple-graph model.
@@ -9,6 +18,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -25,10 +35,14 @@ func (e Edge) Canon() Edge {
 	return e
 }
 
-// Graph is an immutable simple undirected graph.
+// Graph is an immutable simple undirected graph in CSR form: the
+// neighbor lists of all vertices concatenated into one flat array,
+// each list sorted ascending, with offsets[v] marking where vertex v's
+// list begins (offsets has length n+1, so offsets[n] == 2m).
 type Graph struct {
-	adj [][]int // sorted neighbor lists
-	m   int     // number of edges
+	offsets   []int64
+	neighbors []int32
+	m         int
 }
 
 // Builder accumulates edges and produces an immutable Graph.
@@ -85,23 +99,27 @@ func (b *Builder) NumEdges() int { return len(b.edges) }
 // Build produces the immutable graph. The builder may keep being used
 // afterwards; subsequent Builds see later additions.
 func (b *Builder) Build() *Graph {
-	deg := make([]int, b.n)
+	offsets := make([]int64, b.n+1)
 	for _, e := range b.order {
-		deg[e.U]++
-		deg[e.V]++
+		offsets[e.U+1]++
+		offsets[e.V+1]++
 	}
-	adj := make([][]int, b.n)
-	for v, d := range deg {
-		adj[v] = make([]int, 0, d)
+	for v := 0; v < b.n; v++ {
+		offsets[v+1] += offsets[v]
 	}
+	neighbors := make([]int32, 2*len(b.order))
+	fill := make([]int64, b.n)
 	for _, e := range b.order {
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
+		neighbors[offsets[e.U]+fill[e.U]] = int32(e.V)
+		fill[e.U]++
+		neighbors[offsets[e.V]+fill[e.V]] = int32(e.U)
+		fill[e.V]++
 	}
-	for v := range adj {
-		sort.Ints(adj[v])
+	g := &Graph{offsets: offsets, neighbors: neighbors, m: len(b.order)}
+	for v := 0; v < b.n; v++ {
+		slices.Sort(neighbors[offsets[v]:offsets[v+1]])
 	}
-	return &Graph{adj: adj, m: len(b.order)}
+	return g
 }
 
 // FromEdges constructs a graph on n vertices from the given edge list,
@@ -114,52 +132,79 @@ func FromEdges(n int, edges []Edge) *Graph {
 	return b.Build()
 }
 
+// NewCSR adopts the given CSR triple as a graph without copying:
+// offsets must have length n+1 with offsets[0] == 0, and
+// neighbors[offsets[v]:offsets[v+1]] must be vertex v's neighbor list,
+// sorted ascending, with every edge mirrored. No validation is
+// performed (call Validate in tests). The caller keeps ownership of the
+// slices; this is the adoption hook for engines that rematerialize
+// graphs into preallocated buffers (internal/uncertain.Sampler).
+func NewCSR(offsets []int64, neighbors []int32, m int) *Graph {
+	return &Graph{offsets: offsets, neighbors: neighbors, m: m}
+}
+
+// ResetCSR re-points g at the given CSR triple without copying, under
+// the same contract as NewCSR. It exists so a world-sampling engine can
+// reuse one Graph value — and the buffers behind it — across many
+// materializations with zero allocations.
+func (g *Graph) ResetCSR(offsets []int64, neighbors []int32, m int) {
+	g.offsets = offsets
+	g.neighbors = neighbors
+	g.m = m
+}
+
 // NumVertices returns the number of vertices.
-func (g *Graph) NumVertices() int { return len(g.adj) }
+func (g *Graph) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
 
 // NumEdges returns the number of edges.
 func (g *Graph) NumEdges() int { return g.m }
 
 // Degree returns the degree of vertex v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
-// Neighbors returns the sorted neighbor list of v. The returned slice is
-// shared with the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+// Neighbors returns the sorted neighbor list of v: a subslice of the
+// graph's flat CSR array. It is shared with the graph and must not be
+// modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
+}
 
 // HasEdge reports whether the edge (u, v) exists, by binary search on
 // the shorter adjacency list.
 func (g *Graph) HasEdge(u, v int) bool {
-	if u == v || u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+	n := g.NumVertices()
+	if u == v || u < 0 || v < 0 || u >= n || v >= n {
 		return false
 	}
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a, v = g.adj[v], u
+	if g.Degree(v) < g.Degree(u) {
+		u, v = v, u
 	}
-	i := sort.SearchInts(a, v)
-	return i < len(a) && a[i] == v
+	a := g.Neighbors(u)
+	t := int32(v)
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= t })
+	return i < len(a) && a[i] == t
 }
 
 // Edges returns all edges with U < V, ordered by (U, V).
 func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.m)
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
-			if u < v {
-				edges = append(edges, Edge{U: u, V: v})
-			}
-		}
-	}
+	g.ForEachEdge(func(u, v int) {
+		edges = append(edges, Edge{U: u, V: v})
+	})
 	return edges
 }
 
 // ForEachEdge calls fn once per edge with u < v, in (u, v) order.
 func (g *Graph) ForEachEdge(fn func(u, v int)) {
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
-			if u < v {
-				fn(u, v)
+	for u, n := 0, g.NumVertices(); u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				fn(u, int(v))
 			}
 		}
 	}
@@ -167,9 +212,9 @@ func (g *Graph) ForEachEdge(fn func(u, v int)) {
 
 // Degrees returns the degree sequence indexed by vertex.
 func (g *Graph) Degrees() []int {
-	deg := make([]int, len(g.adj))
-	for v := range g.adj {
-		deg[v] = len(g.adj[v])
+	deg := make([]int, g.NumVertices())
+	for v := range deg {
+		deg[v] = g.Degree(v)
 	}
 	return deg
 }
@@ -177,8 +222,8 @@ func (g *Graph) Degrees() []int {
 // MaxDegree returns the maximum degree (0 for the empty graph).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > max {
+	for v, n := 0, g.NumVertices(); v < n; v++ {
+		if d := g.Degree(v); d > max {
 			max = d
 		}
 	}
@@ -187,18 +232,19 @@ func (g *Graph) MaxDegree() int {
 
 // AverageDegree returns 2m/n, or 0 for the empty graph.
 func (g *Graph) AverageDegree() float64 {
-	if len(g.adj) == 0 {
+	n := g.NumVertices()
+	if n == 0 {
 		return 0
 	}
-	return 2 * float64(g.m) / float64(len(g.adj))
+	return 2 * float64(g.m) / float64(n)
 }
 
 // DegreeHistogram returns counts[d] = number of vertices of degree d,
 // for 0 <= d <= MaxDegree.
 func (g *Graph) DegreeHistogram() []int {
 	counts := make([]int, g.MaxDegree()+1)
-	for v := range g.adj {
-		counts[len(g.adj[v])]++
+	for v, n := 0, g.NumVertices(); v < n; v++ {
+		counts[g.Degree(v)]++
 	}
 	return counts
 }
@@ -207,7 +253,7 @@ func (g *Graph) DegreeHistogram() []int {
 // (ids are dense, assigned in discovery order) and the number of
 // components.
 func (g *Graph) ConnectedComponents() (comp []int, count int) {
-	n := len(g.adj)
+	n := g.NumVertices()
 	comp = make([]int, n)
 	for i := range comp {
 		comp[i] = -1
@@ -222,10 +268,10 @@ func (g *Graph) ConnectedComponents() (comp []int, count int) {
 		for len(queue) > 0 {
 			u := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, v := range g.adj[u] {
+			for _, v := range g.Neighbors(u) {
 				if comp[v] == -1 {
 					comp[v] = count
-					queue = append(queue, v)
+					queue = append(queue, int(v))
 				}
 			}
 		}
@@ -234,23 +280,39 @@ func (g *Graph) ConnectedComponents() (comp []int, count int) {
 	return comp, count
 }
 
-// Validate checks internal invariants (sorted adjacency, symmetry, no
-// self-loops, edge-count consistency) and returns a descriptive error on
-// the first violation. It is used by tests and after deserialization.
+// Validate checks internal invariants (offset monotonicity, sorted
+// adjacency, symmetry, no self-loops, edge-count consistency) and
+// returns a descriptive error on the first violation. It is used by
+// tests, after deserialization, and to check buffers adopted via
+// NewCSR/ResetCSR.
 func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.offsets) > 0 && g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	if n > 0 && int(g.offsets[n]) > len(g.neighbors) {
+		return fmt.Errorf("graph: offsets[%d] = %d exceeds neighbor array length %d",
+			n, g.offsets[n], len(g.neighbors))
+	}
 	total := 0
-	for u, nbrs := range g.adj {
+	for u := 0; u < n; u++ {
+		nbrs := g.Neighbors(u)
 		for i, v := range nbrs {
-			if v < 0 || v >= len(g.adj) {
+			if v < 0 || int(v) >= n {
 				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", u, v)
 			}
-			if v == u {
+			if int(v) == u {
 				return fmt.Errorf("graph: self-loop at %d", u)
 			}
 			if i > 0 && nbrs[i-1] >= v {
 				return fmt.Errorf("graph: adjacency of %d not strictly sorted", u)
 			}
-			if !g.HasEdge(v, u) {
+			if !g.HasEdge(int(v), u) {
 				return fmt.Errorf("graph: asymmetric edge (%d,%d)", u, v)
 			}
 		}

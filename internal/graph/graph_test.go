@@ -152,7 +152,7 @@ func TestGraphInvariantsProperty(t *testing.T) {
 func TestNeighborsShared(t *testing.T) {
 	g := paperGraph()
 	nbrs := g.Neighbors(0)
-	if !reflect.DeepEqual(nbrs, []int{1, 2, 3}) {
+	if !reflect.DeepEqual(nbrs, []int32{1, 2, 3}) {
 		t.Errorf("Neighbors(0) = %v", nbrs)
 	}
 }

@@ -28,6 +28,32 @@ func New(b int) Counter {
 	return Counter{reg: make([]byte, 1<<b), b: uint(b)}
 }
 
+// RegisterCount returns the number of registers of a counter with
+// exponent b — the per-counter slice size FromRegisters expects.
+func RegisterCount(b int) int {
+	if b < 4 || b > 16 {
+		panic("hll: register exponent must be in [4, 16]")
+	}
+	return 1 << b
+}
+
+// FromRegisters wraps an externally allocated register slice as a
+// counter without copying: the caller owns the memory, so many
+// counters can share one flat backing array (the layout HyperANF wants
+// — one allocation for all vertices, reusable across runs). The slice
+// length must be a power of two in [16, 65536].
+func FromRegisters(reg []byte) Counter {
+	n := len(reg)
+	if n == 0 || n&(n-1) != 0 {
+		panic("hll: register slice length must be a power of two")
+	}
+	b := uint(bits.TrailingZeros(uint(n)))
+	if b < 4 || b > 16 {
+		panic("hll: register exponent must be in [4, 16]")
+	}
+	return Counter{reg: reg, b: b}
+}
+
 // Clone returns an independent copy.
 func (c Counter) Clone() Counter {
 	out := Counter{reg: make([]byte, len(c.reg)), b: c.b}

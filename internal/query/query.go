@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"uncertaingraph/internal/bfs"
+	"uncertaingraph/internal/graph"
 	"uncertaingraph/internal/mathx"
 	"uncertaingraph/internal/uncertain"
 )
@@ -27,6 +28,21 @@ type Engine struct {
 	Worlds int
 	// Rng drives the sampling; nil selects a fixed seed.
 	Rng *rand.Rand
+
+	// sampler lazily holds the reusable world buffers: queries walk
+	// each world transiently, so one set of CSR buffers serves every
+	// world of every query on this engine.
+	sampler *uncertain.Sampler
+}
+
+// world materializes the next possible world into the engine's
+// reusable buffers; the result is valid until the next call. The
+// sampler is rebuilt if the caller re-points G at a different graph.
+func (e *Engine) world(rng *rand.Rand) *graph.Graph {
+	if e.sampler == nil || e.sampler.Graph() != e.G {
+		e.sampler = e.G.NewSampler()
+	}
+	return e.sampler.Sample(rng)
 }
 
 func (e *Engine) worlds() int {
@@ -50,7 +66,7 @@ func (e *Engine) Reliability(s, t int) float64 {
 	r := e.worlds()
 	hits := 0
 	for i := 0; i < r; i++ {
-		w := e.G.SampleWorld(rng)
+		w := e.world(rng)
 		if connected(w, s, t) {
 			hits++
 		}
@@ -68,7 +84,7 @@ func (e *Engine) DistanceDistribution(s, t int) (dist map[int]float64, disconnec
 	counts := make(map[int]int)
 	discon := 0
 	for i := 0; i < r; i++ {
-		w := e.G.SampleWorld(rng)
+		w := e.world(rng)
 		d := bfs.FromSource(w, s)[t]
 		if d < 0 {
 			discon++
@@ -121,7 +137,7 @@ func (e *Engine) KNearest(s, k int) []int {
 	// distSamples[v] collects dist(s,v) per world (-1 disconnected).
 	counts := make([][]int, n) // counts[v][d] occurrences; index maxD+1 = disconnected
 	for i := 0; i < r; i++ {
-		w := e.G.SampleWorld(rng)
+		w := e.world(rng)
 		dists := bfs.FromSource(w, s)
 		for v, d := range dists {
 			if counts[v] == nil {
@@ -186,7 +202,7 @@ func sortCands(cands []cand) {
 }
 
 func connected(w interface {
-	Neighbors(int) []int
+	Neighbors(int) []int32
 	NumVertices() int
 }, s, t int) bool {
 	if s == t {
@@ -194,13 +210,13 @@ func connected(w interface {
 	}
 	n := w.NumVertices()
 	seen := make([]bool, n)
-	stack := []int{s}
+	stack := []int32{int32(s)}
 	seen[s] = true
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range w.Neighbors(u) {
-			if v == t {
+		for _, v := range w.Neighbors(int(u)) {
+			if int(v) == t {
 				return true
 			}
 			if !seen[v] {

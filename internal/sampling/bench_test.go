@@ -1,0 +1,99 @@
+package sampling
+
+// Benchmarks for the possible-world engine. `make bench-sampling` runs
+// these and records the results in BENCH_sampling.json, next to the
+// pre-refactor baseline, so the perf trajectory of the evaluation hot
+// path stays visible across PRs.
+
+import (
+	"testing"
+
+	"uncertaingraph/internal/core"
+	"uncertaingraph/internal/datasets"
+	"uncertaingraph/internal/randx"
+	"uncertaingraph/internal/uncertain"
+)
+
+func benchPublished(b *testing.B) *uncertain.Graph {
+	b.Helper()
+	d, err := datasets.Generate(datasets.Specs[0], datasets.ScaleTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Obfuscate(d.Graph, core.Params{
+		K: 5, Eps: 0.3, Trials: 2, Delta: 1e-4, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.G
+}
+
+func benchSeeds() []int64 {
+	master := randx.New(7)
+	seeds := make([]int64, 100)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+	return seeds
+}
+
+// BenchmarkSampleWorlds measures materializing 100 possible worlds
+// (the paper's r) through one reused Sampler — the steady-state
+// per-world loop of the estimation pipeline, which performs zero heap
+// allocations per world.
+func BenchmarkSampleWorlds(b *testing.B) {
+	ug := benchPublished(b)
+	seeds := benchSeeds()
+	sampler := ug.NewSampler()
+	rng := randx.New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range seeds {
+			rng.Seed(s)
+			sampler.Sample(rng)
+		}
+	}
+}
+
+// BenchmarkSampleWorldsNaive is the pre-engine form — a fresh graph
+// materialized per world — kept as the in-tree comparison point for
+// the Sampler's allocation savings.
+func BenchmarkSampleWorldsNaive(b *testing.B) {
+	ug := benchPublished(b)
+	seeds := benchSeeds()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range seeds {
+			ug.SampleWorld(randx.New(s))
+		}
+	}
+}
+
+// BenchmarkEstimateStatistics measures the full Section 6.1 pipeline:
+// sample 20 worlds and evaluate all ten statistics on each (exact BFS
+// distances, so the work is deterministic).
+func BenchmarkEstimateStatistics(b *testing.B) {
+	ug := benchPublished(b)
+	cfg := Config{Worlds: 20, Seed: 7, Distances: DistanceExactBFS}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(ug, cfg)
+	}
+}
+
+// BenchmarkEstimateStatisticsANF is the same pipeline under the
+// paper's HyperANF distance estimator, exercising the reused counter
+// registers.
+func BenchmarkEstimateStatisticsANF(b *testing.B) {
+	ug := benchPublished(b)
+	cfg := Config{Worlds: 20, Seed: 7, Distances: DistanceANF}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(ug, cfg)
+	}
+}

@@ -4,6 +4,16 @@
 // into sample means, relative standard errors (Table 5) and relative
 // errors against the original graph (Table 4). Hoeffding bounds
 // (Lemma 2 / Corollary 1) are re-exported through mathx.
+//
+// The r-world loop is the evaluation hot path, and it runs against
+// per-worker buffer pools: each worker owns one uncertain.Sampler
+// (preallocated CSR world buffers), one reseedable RNG, and one
+// statistic Scratch (BFS dist/queue arrays, HyperANF registers), so
+// the steady-state loop materializes and measures worlds without
+// per-world graph allocations. Results are bit-identical for every
+// worker count: world seeds are pre-derived from the master seed, each
+// world's statistics depend only on its seed, and every world writes
+// its own slot of the sample arrays.
 package sampling
 
 import (
@@ -49,6 +59,10 @@ type Config struct {
 	Worlds int
 	// Seed makes the run reproducible.
 	Seed int64
+	// Workers bounds the number of concurrent world evaluations
+	// (<= 0 selects GOMAXPROCS). Each worker owns one set of sampling
+	// and statistic buffers; results are bit-identical for every value.
+	Workers int
 	// Distances selects the per-world distance estimator.
 	Distances DistanceMethod
 	// ANFBits is the HyperANF register exponent (0 -> 7).
@@ -72,6 +86,20 @@ func (c Config) withDefaults() Config {
 		c.EffectiveDiameterQ = 0.9
 	}
 	return c
+}
+
+func (c Config) workerCount(jobs int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Report aggregates per-world statistic values.
@@ -100,36 +128,122 @@ func (r *Report) RelErr(name string, real float64) float64 {
 	return mathx.RelAbsErr(r.Mean(name), real)
 }
 
+// Scratch bundles the reusable statistic-evaluation state of one
+// worker: the BFS distance/queue/count buffers and the HyperANF
+// counter registers, both of which grow to the graph size once and are
+// reused for every subsequent world.
+type Scratch struct {
+	bfs     *bfs.Scratch
+	anf     *anf.Engine
+	anfBits int
+}
+
+// NewScratch returns scratch buffers for evaluating statistics under
+// cfg; buffers grow on first use.
+func NewScratch(cfg Config) *Scratch {
+	cfg = cfg.withDefaults()
+	return &Scratch{
+		bfs:     bfs.NewScratch(),
+		anf:     anf.NewEngine(anf.Options{Bits: cfg.ANFBits}),
+		anfBits: cfg.ANFBits,
+	}
+}
+
+func (s *Scratch) engine(cfg Config) *anf.Engine {
+	if s.anfBits != cfg.ANFBits {
+		s.anf = anf.NewEngine(anf.Options{Bits: cfg.ANFBits})
+		s.anfBits = cfg.ANFBits
+	}
+	return s.anf
+}
+
 // ScalarsOf evaluates the ten paper statistics on a single certain
 // graph (used both per-world and on originals for the "real" rows).
 func ScalarsOf(g *graph.Graph, cfg Config, seed int64) map[string]float64 {
-	cfg = cfg.withDefaults()
+	var vals [10]float64
+	ScalarsInto(g, cfg, seed, NewScratch(cfg), &vals)
 	out := make(map[string]float64, len(StatNames))
-	out["S_NE"] = stats.NumEdges(g)
-	out["S_AD"] = stats.AvgDegree(g)
-	out["S_MD"] = stats.MaxDegree(g)
-	out["S_DV"] = stats.DegreeVariance(g)
-	out["S_PL"] = stats.PowerLawExponent(g, cfg.PowerLawMinDegree)
+	for i, name := range StatNames {
+		out[name] = vals[i]
+	}
+	return out
+}
+
+// ScalarsInto evaluates the ten statistics into vals (indexed by
+// StatNames order) against caller-owned scratch buffers — the reuse
+// form of ScalarsOf that the world loop drives.
+func ScalarsInto(g *graph.Graph, cfg Config, seed int64, sc *Scratch, vals *[10]float64) {
+	cfg = cfg.withDefaults()
+	vals[0] = stats.NumEdges(g)
+	vals[1] = stats.AvgDegree(g)
+	vals[2] = stats.MaxDegree(g)
+	vals[3] = stats.DegreeVariance(g)
+	vals[4] = stats.PowerLawExponent(g, cfg.PowerLawMinDegree)
 	var dd stats.DistanceDistribution
 	switch cfg.Distances {
 	case DistanceExactBFS:
-		dd = bfs.DistanceDistribution(g)
+		dd = sc.bfs.DistanceDistribution(g)
 	case DistanceSampledBFS:
-		dd = bfs.SampledDistanceDistribution(g, cfg.BFSSources, randx.New(seed))
+		dd = sc.bfs.SampledDistanceDistribution(g, cfg.BFSSources, randx.New(seed))
 	default:
-		dd = anf.DistanceDistribution(g, anf.Options{Bits: cfg.ANFBits, Seed: uint64(seed)})
+		dd = sc.engine(cfg).DistanceDistribution(g, uint64(seed))
 	}
-	out["S_APD"] = dd.AvgDistance()
-	out["S_DiamLB"] = float64(dd.Diameter())
-	out["S_EDiam"] = dd.EffectiveDiameter(cfg.EffectiveDiameterQ)
-	out["S_CL"] = dd.ConnectivityLength()
-	out["S_CC"] = stats.ClusteringCoefficient(g)
-	return out
+	vals[5] = dd.AvgDistance()
+	vals[6] = float64(dd.Diameter())
+	vals[7] = dd.EffectiveDiameter(cfg.EffectiveDiameterQ)
+	vals[8] = dd.ConnectivityLength()
+	vals[9] = stats.ClusteringCoefficient(g)
+}
+
+// worldSeeds pre-derives one seed per world from the master seed so
+// that neither the worker count nor the schedule can affect results.
+func worldSeeds(cfg Config) []int64 {
+	master := randx.New(cfg.Seed)
+	seeds := make([]int64, cfg.Worlds)
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+	return seeds
+}
+
+// forEachWorld runs fn(worldIndex, world, seed, scratch) for every
+// sampled world, fanning the worlds out over cfg.Workers workers. Each
+// worker owns one Sampler, one reseedable RNG and one Scratch for its
+// whole range, so the per-world loop allocates nothing; the world
+// passed to fn aliases the worker's sampler buffers and is valid only
+// for that call.
+func forEachWorld(ug *uncertain.Graph, cfg Config, fn func(i int, world *graph.Graph, seed int64, sc *Scratch)) {
+	seeds := worldSeeds(cfg)
+	workers := cfg.workerCount(cfg.Worlds)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sampler := ug.NewSampler()
+			rng := randx.New(0)
+			sc := NewScratch(cfg)
+			for i := range next {
+				// Reseeding replays exactly the stream randx.New(seed)
+				// would produce, without constructing a new generator.
+				rng.Seed(seeds[i])
+				world := sampler.Sample(rng)
+				fn(i, world, seeds[i], sc)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Worlds; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // Run samples cfg.Worlds possible worlds of ug and evaluates all ten
 // statistics on each, in parallel across worlds. Results are
-// deterministic for a fixed Config.
+// deterministic for a fixed Config and identical for every Workers
+// value.
 func Run(ug *uncertain.Graph, cfg Config) *Report {
 	cfg = cfg.withDefaults()
 	report := &Report{
@@ -137,48 +251,25 @@ func Run(ug *uncertain.Graph, cfg Config) *Report {
 		ExactNE: ug.ExpectedNumEdges(),
 		ExactAD: ug.ExpectedAverageDegree(),
 	}
-	for _, name := range StatNames {
-		report.Samples[name] = make([]float64, cfg.Worlds)
+	samples := make([][]float64, len(StatNames))
+	for i, name := range StatNames {
+		samples[i] = make([]float64, cfg.Worlds)
+		report.Samples[name] = samples[i]
 	}
-	// Pre-derive one seed per world from the master seed so that the
-	// parallel schedule cannot affect results.
-	master := randx.New(cfg.Seed)
-	seeds := make([]int64, cfg.Worlds)
-	for i := range seeds {
-		seeds[i] = master.Int63()
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cfg.Worlds {
-		workers = cfg.Worlds
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	var mu sync.Mutex
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				world := ug.SampleWorld(randx.New(seeds[i]))
-				vals := ScalarsOf(world, cfg, seeds[i])
-				mu.Lock()
-				for name, v := range vals {
-					report.Samples[name][i] = v
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for i := 0; i < cfg.Worlds; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	forEachWorld(ug, cfg, func(i int, world *graph.Graph, seed int64, sc *Scratch) {
+		var vals [10]float64
+		ScalarsInto(world, cfg, seed, sc, &vals)
+		for s := range samples {
+			samples[s][i] = vals[s]
+		}
+	})
 	return report
 }
 
 // VectorFn maps a certain graph to a vector statistic (degree
-// distribution, distance distribution fractions, ...).
+// distribution, distance distribution fractions, ...). The graph
+// passed to fn is only valid for the duration of the call; the
+// returned slice must not alias it.
 type VectorFn func(g *graph.Graph, seed int64) []float64
 
 // RunVector evaluates a vector statistic on each sampled world,
@@ -186,33 +277,10 @@ type VectorFn func(g *graph.Graph, seed int64) []float64
 // typically pad or box-summarize).
 func RunVector(ug *uncertain.Graph, cfg Config, fn VectorFn) [][]float64 {
 	cfg = cfg.withDefaults()
-	master := randx.New(cfg.Seed)
-	seeds := make([]int64, cfg.Worlds)
-	for i := range seeds {
-		seeds[i] = master.Int63()
-	}
 	rows := make([][]float64, cfg.Worlds)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cfg.Worlds {
-		workers = cfg.Worlds
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				world := ug.SampleWorld(randx.New(seeds[i]))
-				rows[i] = fn(world, seeds[i])
-			}
-		}()
-	}
-	for i := 0; i < cfg.Worlds; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	forEachWorld(ug, cfg, func(i int, world *graph.Graph, seed int64, _ *Scratch) {
+		rows[i] = fn(world, seed)
+	})
 	return rows
 }
 

@@ -7,43 +7,59 @@ import (
 )
 
 // CountTriangles returns T3: the number of 3-cliques. It uses the
-// forward (degree-ordered) algorithm, O(m^{3/2}) time.
+// forward (degree-ordered) algorithm, O(m^{3/2}) time, over a flat
+// CSR scratch of forward adjacencies.
 func CountTriangles(g *graph.Graph) int64 {
 	n := g.NumVertices()
 	// Rank vertices by (degree, id); orient each edge from lower to
 	// higher rank so every triangle is counted exactly once, at its
 	// lowest-rank corner pair.
-	rank := make([]int, n)
-	order := make([]int, n)
+	rank := make([]int32, n)
+	order := make([]int32, n)
 	for i := range order {
-		order[i] = i
+		order[i] = int32(i)
 	}
 	sort.Slice(order, func(a, b int) bool {
-		da, db := g.Degree(order[a]), g.Degree(order[b])
+		da, db := g.Degree(int(order[a])), g.Degree(int(order[b]))
 		if da != db {
 			return da < db
 		}
 		return order[a] < order[b]
 	})
 	for r, v := range order {
-		rank[v] = r
+		rank[v] = int32(r)
 	}
-	// forward[v] = neighbors of higher rank, sorted by rank.
-	forward := make([][]int32, n)
+	// Forward adjacency in CSR form: foff[v]..foff[v+1] indexes v's
+	// higher-rank neighbors within fnbr. Visiting vertices in rank
+	// order while appending each to its lower-rank neighbors' lists
+	// leaves every list sorted by rank with no per-vertex sort.
+	foff := make([]int64, n+1)
 	for v := 0; v < n; v++ {
 		for _, u := range g.Neighbors(v) {
 			if rank[u] > rank[v] {
-				forward[v] = append(forward[v], int32(u))
+				foff[v+1]++
 			}
 		}
-		nbrs := forward[v]
-		sort.Slice(nbrs, func(a, b int) bool { return rank[nbrs[a]] < rank[nbrs[b]] })
+	}
+	for v := 0; v < n; v++ {
+		foff[v+1] += foff[v]
+	}
+	fnbr := make([]int32, foff[n])
+	fill := make([]int64, n)
+	for _, v := range order {
+		for _, u := range g.Neighbors(int(v)) {
+			if rank[u] < rank[v] {
+				fnbr[foff[u]+fill[u]] = v
+				fill[u]++
+			}
+		}
 	}
 	var t3 int64
 	for v := 0; v < n; v++ {
-		for _, u := range forward[v] {
+		a := fnbr[foff[v]:foff[v+1]]
+		for _, u := range a {
 			// Count common forward neighbors of v and u by merge.
-			a, b := forward[v], forward[u]
+			b := fnbr[foff[u]:foff[u+1]]
 			i, j := 0, 0
 			for i < len(a) && j < len(b) {
 				ra, rb := rank[a[i]], rank[b[j]]

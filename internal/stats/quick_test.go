@@ -133,10 +133,10 @@ func bfsFrom(g *graph.Graph, s int) []int {
 		dist[i] = -1
 	}
 	dist[s] = 0
-	queue := []int{s}
+	queue := []int32{int32(s)}
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
-		for _, v := range g.Neighbors(u) {
+		for _, v := range g.Neighbors(int(u)) {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)

@@ -27,7 +27,7 @@ func (g *Graph) ExpectedDegreeVariance() float64 {
 	var sumSq float64 // Σ_v E[d_v^2]
 	for v := 0; v < g.n; v++ {
 		var mu, varv float64
-		for _, idx := range g.inc[v] {
+		for _, idx := range g.Incident(v) {
 			p := g.pairs[idx].P
 			mu += p
 			varv += p * (1 - p)
@@ -59,7 +59,7 @@ func (g *Graph) ExpectedTriangles() float64 {
 		for k := range probTo {
 			delete(probTo, k)
 		}
-		for _, idx := range g.inc[v] {
+		for _, idx := range g.Incident(v) {
 			pr := g.pairs[idx]
 			other := pr.U
 			if other == v {
@@ -70,7 +70,7 @@ func (g *Graph) ExpectedTriangles() float64 {
 			}
 		}
 		for u, pu := range probTo {
-			for _, idx := range g.inc[u] {
+			for _, idx := range g.Incident(u) {
 				pr := g.pairs[idx]
 				w := pr.U
 				if w == u {
@@ -96,7 +96,7 @@ func (g *Graph) ExpectedConnectedTriples() float64 {
 	var paths float64
 	for v := 0; v < g.n; v++ {
 		var mu, varv float64
-		for _, idx := range g.inc[v] {
+		for _, idx := range g.Incident(v) {
 			p := g.pairs[idx].P
 			mu += p
 			varv += p * (1 - p)

@@ -39,11 +39,11 @@ func countTriangles(w *graph.Graph) float64 {
 	for v := 0; v < n; v++ {
 		nbrs := w.Neighbors(v)
 		for i := 0; i < len(nbrs); i++ {
-			if nbrs[i] < v {
+			if int(nbrs[i]) < v {
 				continue
 			}
 			for j := i + 1; j < len(nbrs); j++ {
-				if w.HasEdge(nbrs[i], nbrs[j]) {
+				if w.HasEdge(int(nbrs[i]), int(nbrs[j])) {
 					t3++
 				}
 			}

@@ -1,0 +1,120 @@
+package uncertain
+
+import (
+	"math/rand"
+	"sort"
+
+	"uncertaingraph/internal/graph"
+)
+
+// Sampler materializes possible worlds of one uncertain graph into
+// preallocated CSR buffers: after construction, every Sample call
+// performs zero heap allocations. It is the world engine behind the
+// Monte-Carlo estimation pipeline (paper Section 6.1), where r ≈ 100
+// worlds are sampled per published graph and every statistic is
+// recomputed on each — the hot path that dominates evaluation cost.
+//
+// The trick is a sampling template built once per Sampler: for every
+// vertex, the incident candidate pairs sorted by the opposite
+// endpoint. A world is then materialized in two passes — (1) draw each
+// candidate pair in candidate-list order, exactly the RNG draw order
+// of Graph.SampleWorld, recording presence in a bitmap; (2) walk the
+// template and copy the present neighbors into the world's flat
+// adjacency array, which lands sorted without any per-world sort.
+//
+// The returned *graph.Graph is reused: it remains valid only until the
+// next Sample call on the same Sampler. A Sampler is not safe for
+// concurrent use; parallel pipelines hold one Sampler per worker.
+type Sampler struct {
+	g *Graph
+
+	// Template: per-vertex incident slots sorted by opposite endpoint.
+	toff  []int64 // length n+1
+	tnbr  []int32 // opposite endpoint of the slot's pair
+	tpair []int32 // index of the slot's pair
+
+	// Per-world buffers.
+	present []bool
+	offsets []int64
+	nbr     []int32
+	world   graph.Graph
+}
+
+// NewSampler builds the sampling template for g. Cost is one sort of
+// the incident lists, O(Σ_v inc(v) log inc(v)); every subsequent
+// Sample is O(|E_C|) with no allocations.
+func (g *Graph) NewSampler() *Sampler {
+	s := &Sampler{
+		g:       g,
+		toff:    g.incOff,
+		tnbr:    make([]int32, len(g.incIdx)),
+		tpair:   make([]int32, len(g.incIdx)),
+		present: make([]bool, len(g.pairs)),
+		offsets: make([]int64, g.n+1),
+		nbr:     make([]int32, len(g.incIdx)),
+	}
+	for v := 0; v < g.n; v++ {
+		lo, hi := s.toff[v], s.toff[v+1]
+		for k := lo; k < hi; k++ {
+			idx := g.incIdx[k]
+			pr := g.pairs[idx]
+			other := pr.U
+			if other == v {
+				other = pr.V
+			}
+			s.tnbr[k] = int32(other)
+			s.tpair[k] = idx
+		}
+		sort.Sort(templateSlots{nbr: s.tnbr[lo:hi], pair: s.tpair[lo:hi]})
+	}
+	return s
+}
+
+// templateSlots co-sorts one vertex's (neighbor, pair-index) slots by
+// neighbor id; endpoints are distinct within a vertex, so the order is
+// total.
+type templateSlots struct {
+	nbr  []int32
+	pair []int32
+}
+
+func (t templateSlots) Len() int           { return len(t.nbr) }
+func (t templateSlots) Less(i, j int) bool { return t.nbr[i] < t.nbr[j] }
+func (t templateSlots) Swap(i, j int) {
+	t.nbr[i], t.nbr[j] = t.nbr[j], t.nbr[i]
+	t.pair[i], t.pair[j] = t.pair[j], t.pair[i]
+}
+
+// Sample draws one possible world W ~ Pr(W) into the sampler's
+// buffers. The RNG draw sequence is identical to Graph.SampleWorld's —
+// one Float64 per candidate pair with 0 < p < 1, in candidate-list
+// order — so for equal RNG states the two produce equal worlds, pinned
+// by TestSamplerMatchesSampleWorld. The returned graph aliases the
+// sampler and is valid until the next Sample call.
+func (s *Sampler) Sample(rng *rand.Rand) *graph.Graph {
+	pairs := s.g.pairs
+	m := 0
+	for i := range pairs {
+		p := pairs[i].P
+		on := p > 0 && (p >= 1 || rng.Float64() < p)
+		s.present[i] = on
+		if on {
+			m++
+		}
+	}
+	var pos int64
+	for v := 0; v < s.g.n; v++ {
+		for k := s.toff[v]; k < s.toff[v+1]; k++ {
+			if s.present[s.tpair[k]] {
+				s.nbr[pos] = s.tnbr[k]
+				pos++
+			}
+		}
+		s.offsets[v+1] = pos
+	}
+	s.world.ResetCSR(s.offsets, s.nbr[:pos], m)
+	return &s.world
+}
+
+// Graph returns the uncertain graph this sampler draws from.
+func (s *Sampler) Graph() *Graph { return s.g }

@@ -1,0 +1,117 @@
+package uncertain
+
+import (
+	"reflect"
+	"testing"
+
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/randx"
+)
+
+// samplerFixture builds an uncertain graph mixing certain edges
+// (p = 1), impossible pairs (p = 0) and genuinely random pairs.
+func samplerFixture(t testing.TB, n int) *Graph {
+	t.Helper()
+	rng := randx.New(99)
+	var pairs []Pair
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			switch rng.Intn(5) {
+			case 0:
+				pairs = append(pairs, Pair{U: u, V: v, P: 1})
+			case 1:
+				pairs = append(pairs, Pair{U: u, V: v, P: 0})
+			case 2, 3:
+				pairs = append(pairs, Pair{U: v, V: u, P: rng.Float64()})
+			}
+		}
+	}
+	g, err := New(n, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSamplerMatchesSampleWorld pins the bit-identity contract: for
+// equal RNG states, Sampler.Sample and the pre-refactor builder-based
+// materialization (one Float64 draw per candidate pair with
+// 0 < p < 1, in candidate-list order, dropped into a graph.Builder)
+// must consume the same draws and produce the same graph.
+func TestSamplerMatchesSampleWorld(t *testing.T) {
+	g := samplerFixture(t, 30)
+	s := g.NewSampler()
+	for seed := int64(1); seed <= 20; seed++ {
+		world := s.Sample(randx.New(seed))
+		if err := world.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid world: %v", seed, err)
+		}
+		// Reference: the seed's SampleWorld implementation, verbatim.
+		rng := randx.New(seed)
+		b := graph.NewBuilder(g.n)
+		for _, pr := range g.pairs {
+			if pr.P > 0 && (pr.P >= 1 || rng.Float64() < pr.P) {
+				b.AddEdge(pr.U, pr.V)
+			}
+		}
+		ref := b.Build()
+		if world.NumEdges() != ref.NumEdges() {
+			t.Fatalf("seed %d: %d edges, reference %d", seed, world.NumEdges(), ref.NumEdges())
+		}
+		if !reflect.DeepEqual(world.Edges(), ref.Edges()) {
+			t.Fatalf("seed %d: edge sets differ", seed)
+		}
+	}
+}
+
+// TestSamplerWorldReuse checks that consecutive samples reuse the same
+// backing graph and stay internally consistent.
+func TestSamplerWorldReuse(t *testing.T) {
+	g := samplerFixture(t, 25)
+	s := g.NewSampler()
+	rng := randx.New(5)
+	w1 := s.Sample(rng)
+	w2 := s.Sample(rng)
+	if w1 != w2 {
+		t.Error("Sample should return the same reused *graph.Graph")
+	}
+	if err := w2.Validate(); err != nil {
+		t.Fatalf("reused world invalid: %v", err)
+	}
+}
+
+// TestSampleWorldIndependentOfSampler checks the one-shot path still
+// yields a graph that survives further sampler activity (it owns the
+// buffers of its throwaway sampler).
+func TestSampleWorldIndependentOfSampler(t *testing.T) {
+	g := samplerFixture(t, 25)
+	w := g.SampleWorld(randx.New(3))
+	before := w.NumEdges()
+	// Unrelated sampling must not disturb w.
+	g.SampleWorld(randx.New(4))
+	g.NewSampler().Sample(randx.New(5))
+	if w.NumEdges() != before {
+		t.Error("SampleWorld graph mutated by later sampling")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("one-shot world invalid: %v", err)
+	}
+}
+
+// TestSamplerZeroAllocs pins the acceptance criterion: after the
+// sampler is constructed (the warm-up), the steady-state per-world
+// loop — reseed, sample — performs zero heap allocations.
+func TestSamplerZeroAllocs(t *testing.T) {
+	g := samplerFixture(t, 60)
+	s := g.NewSampler()
+	rng := randx.New(0)
+	seed := int64(1)
+	allocs := testing.AllocsPerRun(50, func() {
+		rng.Seed(seed)
+		s.Sample(rng)
+		seed++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Sample allocates %v times per world, want 0", allocs)
+	}
+}

@@ -4,15 +4,22 @@
 // is a certain non-edge.
 //
 // The package provides possible-world sampling (each pair materializes
-// independently with its probability, Eq. 1), closed-form expected
-// degree statistics (Section 6.2), and per-vertex degree distributions
-// (Poisson-binomial over incident pairs, Section 4) that feed the
-// adversary model.
+// independently with its probability, Eq. 1) both as one-shot
+// SampleWorld calls and through the buffer-reusing Sampler engine,
+// closed-form expected degree statistics (Section 6.2), and per-vertex
+// degree distributions (Poisson-binomial over incident pairs, Section
+// 4) that feed the adversary model.
+//
+// The incident-pair index is stored in compressed-sparse-row form
+// (incOff/incIdx), mirroring the flat layout of internal/graph: the
+// candidate pairs incident to v are pairs[incIdx[incOff[v]:incOff[v+1]]],
+// in candidate-list order.
 package uncertain
 
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"uncertaingraph/internal/graph"
 	"uncertaingraph/internal/pbinom"
@@ -27,9 +34,10 @@ type Pair struct {
 // Graph is an uncertain graph: a fixed vertex set plus a candidate set
 // of probabilistic pairs. Pairs not listed are certain non-edges.
 type Graph struct {
-	n     int
-	pairs []Pair
-	inc   [][]int32 // per-vertex indices into pairs
+	n      int
+	pairs  []Pair
+	incOff []int64 // CSR offsets into incIdx, length n+1
+	incIdx []int32 // pair indices, grouped by incident vertex
 }
 
 // New constructs an uncertain graph on n vertices from the candidate
@@ -37,8 +45,8 @@ type Graph struct {
 // and probabilities outside [0, 1].
 func New(n int, pairs []Pair) (*Graph, error) {
 	seen := make(map[int64]struct{}, len(pairs))
-	inc := make([][]int32, n)
 	stored := make([]Pair, 0, len(pairs))
+	incOff := make([]int64, n+1)
 	for _, pr := range pairs {
 		if pr.U == pr.V {
 			return nil, fmt.Errorf("uncertain: self-loop at vertex %d", pr.U)
@@ -54,15 +62,25 @@ func New(n int, pairs []Pair) (*Graph, error) {
 			return nil, fmt.Errorf("uncertain: duplicate pair (%d,%d)", pr.U, pr.V)
 		}
 		seen[key] = struct{}{}
-		idx := int32(len(stored))
 		if pr.U > pr.V {
 			pr.U, pr.V = pr.V, pr.U
 		}
 		stored = append(stored, pr)
-		inc[pr.U] = append(inc[pr.U], idx)
-		inc[pr.V] = append(inc[pr.V], idx)
+		incOff[pr.U+1]++
+		incOff[pr.V+1]++
 	}
-	return &Graph{n: n, pairs: stored, inc: inc}, nil
+	for v := 0; v < n; v++ {
+		incOff[v+1] += incOff[v]
+	}
+	incIdx := make([]int32, 2*len(stored))
+	fill := make([]int64, n)
+	for i, pr := range stored {
+		incIdx[incOff[pr.U]+fill[pr.U]] = int32(i)
+		fill[pr.U]++
+		incIdx[incOff[pr.V]+fill[pr.V]] = int32(i)
+		fill[pr.V]++
+	}
+	return &Graph{n: n, pairs: stored, incOff: incOff, incIdx: incIdx}, nil
 }
 
 // FromCertain lifts a deterministic graph into an uncertain graph whose
@@ -90,23 +108,38 @@ func (g *Graph) NumPairs() int { return len(g.pairs) }
 // modified.
 func (g *Graph) Pairs() []Pair { return g.pairs }
 
+// Incident returns the indices into Pairs of the candidate pairs
+// incident to v, in candidate-list order: a subslice of the flat CSR
+// index, shared with the graph and not to be modified.
+func (g *Graph) Incident(v int) []int32 {
+	return g.incIdx[g.incOff[v]:g.incOff[v+1]]
+}
+
 // IncidentProbs returns the probabilities of the candidate pairs
 // incident to v, freshly allocated.
 func (g *Graph) IncidentProbs(v int) []float64 {
-	probs := make([]float64, len(g.inc[v]))
-	for i, idx := range g.inc[v] {
-		probs[i] = g.pairs[idx].P
+	return g.AppendIncidentProbs(nil, v)
+}
+
+// AppendIncidentProbs appends v's incident candidate probabilities to
+// dst and returns the extended slice — the reuse form of IncidentProbs
+// for scans that stream every vertex through one buffer.
+func (g *Graph) AppendIncidentProbs(dst []float64, v int) []float64 {
+	for _, idx := range g.Incident(v) {
+		dst = append(dst, g.pairs[idx].P)
 	}
-	return probs
+	return dst
 }
 
 // IncidentCount returns the number of candidate pairs incident to v.
-func (g *Graph) IncidentCount(v int) int { return len(g.inc[v]) }
+func (g *Graph) IncidentCount(v int) int {
+	return int(g.incOff[v+1] - g.incOff[v])
+}
 
 // ExpectedDegree returns E[d_v] = sum of incident probabilities.
 func (g *Graph) ExpectedDegree(v int) float64 {
 	var sum float64
-	for _, idx := range g.inc[v] {
+	for _, idx := range g.Incident(v) {
 		sum += g.pairs[idx].P
 	}
 	return sum
@@ -138,16 +171,59 @@ func (g *Graph) DegreeDist(v int, threshold int) pbinom.Dist {
 	return pbinom.New(g.IncidentProbs(v), threshold)
 }
 
+// DegreeDistBuf is DegreeDist evaluated through a caller-owned
+// probability buffer: the incident probabilities are written into
+// buf[:0] and the (possibly grown) buffer is returned for the next
+// call. pbinom does not retain the slice.
+func (g *Graph) DegreeDistBuf(v int, threshold int, buf []float64) (pbinom.Dist, []float64) {
+	buf = g.AppendIncidentProbs(buf[:0], v)
+	return pbinom.New(buf, threshold), buf
+}
+
 // SampleWorld draws one possible world W ~ Pr(W) by materializing each
-// candidate pair independently with its probability (Eq. 1).
+// candidate pair independently with its probability (Eq. 1). The RNG
+// draw protocol — one Float64 per candidate pair with 0 < p < 1, in
+// candidate-list order — is shared with Sampler.Sample, so both paths
+// produce the identical world from the identical RNG state. The
+// returned graph owns exactly-sized buffers; callers looping over many
+// worlds should hold a Sampler instead, which allocates nothing per
+// world.
 func (g *Graph) SampleWorld(rng *rand.Rand) *graph.Graph {
-	b := graph.NewBuilder(g.n)
-	for _, pr := range g.pairs {
-		if pr.P > 0 && (pr.P >= 1 || rng.Float64() < pr.P) {
-			b.AddEdge(pr.U, pr.V)
+	present := make([]bool, len(g.pairs))
+	m := 0
+	for i := range g.pairs {
+		p := g.pairs[i].P
+		if p > 0 && (p >= 1 || rng.Float64() < p) {
+			present[i] = true
+			m++
 		}
 	}
-	return b.Build()
+	offsets := make([]int64, g.n+1)
+	for i := range g.pairs {
+		if present[i] {
+			offsets[g.pairs[i].U+1]++
+			offsets[g.pairs[i].V+1]++
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	neighbors := make([]int32, 2*m)
+	fill := make([]int64, g.n)
+	for i := range g.pairs {
+		if !present[i] {
+			continue
+		}
+		u, v := g.pairs[i].U, g.pairs[i].V
+		neighbors[offsets[u]+fill[u]] = int32(v)
+		fill[u]++
+		neighbors[offsets[v]+fill[v]] = int32(u)
+		fill[v]++
+	}
+	for v := 0; v < g.n; v++ {
+		slices.Sort(neighbors[offsets[v]:offsets[v+1]])
+	}
+	return graph.NewCSR(offsets, neighbors, m)
 }
 
 // WorldLogProb returns the log-probability ln Pr(W) of a possible world

@@ -131,8 +131,18 @@ func TestSmokeObfuscateAndEvaluate(t *testing.T) {
 	}
 
 	out = runSmoke(t, "evaluate",
-		"-uncertain", ugPath, "-worlds", "5", "-exact-distances", "-ref", edges)
+		"-uncertain", ugPath, "-worlds", "5", "-exact-distances", "-ref", edges,
+		"-workers", "1")
 	wantLines(t, out, "sampling 5 worlds", "S_NE", "S_CC")
+
+	// The sampling pipeline inherits the same Workers-independence: the
+	// rendered statistics must agree bit-for-bit across worker counts.
+	out3 := runSmoke(t, "evaluate",
+		"-uncertain", ugPath, "-worlds", "5", "-exact-distances", "-ref", edges,
+		"-workers", "3")
+	if out != out3 {
+		t.Error("evaluate output differs between -workers 1 and -workers 3")
+	}
 }
 
 func TestSmokeEvaluateCertain(t *testing.T) {
@@ -149,7 +159,7 @@ func TestSmokeTrailattack(t *testing.T) {
 	}
 	out := runSmoke(t, "trailattack",
 		"-n", "150", "-releases", "2", "-k", "3", "-eps", "0.2",
-		"-t", "1", "-delta", "1e-3", "-targets", "20")
+		"-t", "1", "-delta", "1e-3", "-targets", "20", "-workers", "2")
 	wantLines(t, out, "degree-trail attack", "certain releases:", "uncertain releases:")
 }
 

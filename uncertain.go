@@ -25,8 +25,20 @@ func NewUncertainGraph(n int, pairs []Pair) (*UncertainGraph, error) {
 func CertainGraph(g *Graph) *UncertainGraph { return uncertain.FromCertain(g) }
 
 // SampleWorld draws one possible world: each candidate pair
-// materializes independently with its probability (paper Eq. 1).
+// materializes independently with its probability (paper Eq. 1). The
+// result is an independent graph; loops over many worlds should hold a
+// WorldSampler instead.
 func SampleWorld(g *UncertainGraph, rng *rand.Rand) *Graph { return g.SampleWorld(rng) }
+
+// WorldSampler materializes possible worlds into preallocated CSR
+// buffers: zero heap allocations per world, bit-identical to
+// SampleWorld for equal RNG states. The returned graph of each Sample
+// call is reused by the next, and a sampler serves one goroutine; see
+// the README's "Graph representation & memory model" section.
+type WorldSampler = uncertain.Sampler
+
+// NewWorldSampler builds the reusable sampling state for g.
+func NewWorldSampler(g *UncertainGraph) *WorldSampler { return g.NewSampler() }
 
 // ReadUncertainGraph parses the "u v p" format written by
 // WriteUncertainGraph.
