@@ -6,7 +6,7 @@ GO ?= go
 # Label stamped onto bench-sampling runs in BENCH_sampling.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: build test race vet fmt-check lint bench bench-sampling ci
+.PHONY: build test race vet fmt-check lint bench bench-sampling bench-query ci
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,20 @@ bench-sampling:
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
 	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_sampling.json < "$$tmp"; \
+	status=$$?; rm -f "$$tmp"; exit $$status
+
+# Query-serving engine benchmarks (batched vs one-shot serving of the
+# same query mix), appended as a JSON record to BENCH_query.json. The
+# BatchQueries line must report 0 allocs/op: the per-world query loop
+# is allocation-free once warm.
+bench-query:
+	@tmp="$$(mktemp)"; \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkBatchQueries$$|BenchmarkSingleQueries$$' \
+		-benchmem -benchtime 3x ./internal/query > "$$tmp" 2>&1; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
+	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_query.json < "$$tmp"; \
 	status=$$?; rm -f "$$tmp"; exit $$status
 
 ci: build lint test race

@@ -146,6 +146,34 @@ func TestAttackAndQueryFacade(t *testing.T) {
 	}
 }
 
+// TestQueryBatchFacade exercises the batched serving path through the
+// public facade: one world set shared by all registered queries, exact
+// answers on certain structure, and the count-rule median surfaced via
+// KNearestWithMedians.
+func TestQueryBatchFacade(t *testing.T) {
+	g, err := ug.NewUncertainGraph(4, []ug.Pair{
+		{U: 0, V: 1, P: 1}, {U: 1, V: 2, P: 1}, {U: 2, V: 3, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ug.NewQueryBatch(g, ug.QueryConfig{Worlds: 200, Seed: 3, Workers: 2})
+	rel := b.AddReliability(0, 2)
+	dist := b.AddDistance(0, 2)
+	knn := b.AddKNearest(0, 2)
+	b.Run()
+	if got := b.Reliability(rel); got != 1 {
+		t.Errorf("Pr(0~2) = %v, want 1 (certain path)", got)
+	}
+	if got := b.MedianDistance(dist); got != 2 {
+		t.Errorf("median(0,2) = %d, want 2", got)
+	}
+	want := []ug.QueryNeighbor{{V: 1, Median: 1}, {V: 2, Median: 2}}
+	if got := b.KNearestWithMedians(knn); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("KNearestWithMedians = %v, want %v", got, want)
+	}
+}
+
 func TestCertainGraphSemantics(t *testing.T) {
 	g := ug.GraphFromEdges(4, []ug.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
 	c := ug.CertainGraph(g)

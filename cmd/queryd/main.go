@@ -1,0 +1,92 @@
+// Command queryd serves analytical queries over one published
+// uncertain graph: a long-lived HTTP/JSON daemon for the paper's
+// consumption side (§1, §6), backed by the batched possible-world
+// query engine (worlds sampled once per request, one BFS per distinct
+// source per world, pooled zero-alloc buffers across requests).
+//
+// Usage:
+//
+//	queryd -graph published.ug [-addr :8781] [-worlds 738] [-workers N] [-seed 1]
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /reliability?s=0&t=5[&worlds=1000][&seed=7]
+//	GET  /distance?s=0&t=5
+//	GET  /knn?s=0&k=10
+//	POST /batch   {"worlds":1000,"queries":[{"op":"reliability","s":0,"t":5}, ...]}
+//
+// Unless a request pins a seed, its world stream is derived from the
+// server seed and the request content, so identical requests return
+// identical answers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	ug "uncertaingraph"
+	"uncertaingraph/internal/qserve"
+)
+
+func main() {
+	var (
+		gin       = flag.String("graph", "", "published uncertain graph to serve (required)")
+		addr      = flag.String("addr", ":8781", "listen address (port 0 picks a free port)")
+		worlds    = flag.Int("worlds", 0, "default worlds per request (0 selects the Hoeffding default, 738)")
+		maxWorlds = flag.Int("max-worlds", qserve.DefaultMaxWorlds, "per-request worlds cap")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent world evaluations per request (answers are identical for every value)")
+		seed      = flag.Int64("seed", 1, "base seed for content-derived request streams")
+	)
+	flag.Parse()
+	if *gin == "" {
+		fatal(fmt.Errorf("need -graph"))
+	}
+
+	f, err := os.Open(*gin)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := ug.ReadUncertainGraph(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &qserve.Server{
+		G:         g,
+		Worlds:    *worlds,
+		MaxWorlds: *maxWorlds,
+		Workers:   *workers,
+		Seed:      *seed,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The address line goes to stdout unbuffered so supervisors (and the
+	// smoke test) can read the chosen port before the first request.
+	fmt.Printf("queryd: serving %d vertices / %d candidate pairs at http://%s\n",
+		g.NumVertices(), g.NumPairs(), ln.Addr())
+	httpServer := &http.Server{
+		Handler: srv.Handler(),
+		// Bound header/idle time so stalled clients cannot pin
+		// goroutines and fds forever; no WriteTimeout, since a
+		// max-worlds batch is allowed to compute for a while.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := httpServer.Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "queryd:", err)
+	os.Exit(1)
+}

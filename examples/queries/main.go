@@ -41,7 +41,21 @@ func main() {
 	}
 	fmt.Printf("median distance: %d\n", engine.MedianDistance(s, t))
 
-	fmt.Printf("\n5 nearest neighbours of %d (majority distance): %v\n",
+	fmt.Printf("\n5 nearest neighbours of %d (median distance): %v\n",
 		s, engine.KNearest(s, 5))
 	fmt.Printf("expected degree of %d: %.2f\n", s, engine.ExpectedDegree(s))
+
+	// The serving shape: a batch samples its worlds once and evaluates
+	// every query against them — one BFS per distinct source per world,
+	// shared by all queries with that source, zero allocations in the
+	// steady-state loop. This is what cmd/queryd runs per request.
+	batch := ug.NewQueryBatch(published, ug.QueryConfig{Worlds: 1000, Seed: 4})
+	relID := batch.AddReliability(s, t)
+	distID := batch.AddDistance(s, t)
+	knnID := batch.AddKNearest(s, 5)
+	batch.Run()
+	fmt.Printf("\nbatched (one world set for all three queries):\n")
+	fmt.Printf("  reliability %.3f, median %d\n",
+		batch.Reliability(relID), batch.MedianDistance(distID))
+	fmt.Printf("  neighbours with medians: %v\n", batch.KNearestWithMedians(knnID))
 }

@@ -67,6 +67,35 @@ func (s *Scratch) ensure(n int) {
 	s.dist = s.dist[:n]
 }
 
+// FromSourceInto computes the distances from src to every vertex (-1
+// for unreachable vertices) into the scratch's distance buffer and
+// returns it. The slice aliases the scratch and is valid only until
+// the next call on s; once the buffers have grown to the graph size,
+// repeated calls allocate nothing. This is the single-source entry the
+// batched query engine drives: one BFS per distinct source per sampled
+// world, shared across every query with that source.
+func (s *Scratch) FromSourceInto(g *graph.Graph, src int) []int32 {
+	s.ensure(g.NumVertices())
+	dist := s.dist
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := append(s.queue[:0], int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u] + 1
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = du
+				queue = append(queue, v)
+			}
+		}
+	}
+	s.queue = queue[:0]
+	return dist
+}
+
 // run accumulates the ordered distance counts of a BFS from src into
 // s.counts and returns the number of vertices reached (excluding src).
 func (s *Scratch) run(g *graph.Graph, src int) float64 {

@@ -29,6 +29,40 @@ func TestFromSourceUnreachable(t *testing.T) {
 	}
 }
 
+func TestFromSourceIntoMatchesFromSource(t *testing.T) {
+	g := gen.HolmeKim(randx.New(6), 300, 3, 0.3)
+	s := NewScratch()
+	for _, src := range []int{0, 7, 150, 299} {
+		want := FromSource(g, src)
+		got := s.FromSourceInto(g, src)
+		for v := range want {
+			if int(got[v]) != want[v] {
+				t.Fatalf("src %d: dist[%d] = %d, want %d", src, v, got[v], want[v])
+			}
+		}
+	}
+	// Disconnected structure: distances stay -1, across reuse.
+	g2 := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}})
+	d := s.FromSourceInto(g2, 0)
+	if d[0] != 0 || d[1] != 1 || d[2] != -1 || d[3] != -1 {
+		t.Errorf("got %v, want [0 1 -1 -1]", d)
+	}
+}
+
+func TestFromSourceIntoZeroAllocsWhenWarm(t *testing.T) {
+	g := gen.HolmeKim(randx.New(8), 200, 3, 0.3)
+	s := NewScratch()
+	s.FromSourceInto(g, 0) // grow buffers
+	src := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		s.FromSourceInto(g, src)
+		src = (src + 17) % 200
+	})
+	if allocs != 0 {
+		t.Errorf("warm FromSourceInto allocates %v times, want 0", allocs)
+	}
+}
+
 func TestDistanceDistributionPath(t *testing.T) {
 	// Path on 4 vertices: distances 1x3, 2x2, 3x1.
 	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})

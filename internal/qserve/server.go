@@ -1,0 +1,372 @@
+// Package qserve is the query-serving layer over internal/query's
+// batch engine: a long-lived HTTP/JSON server that loads one published
+// uncertain graph and answers reliability, distance-distribution and
+// k-nearest-neighbour queries — the paper's consumption story (§1, §6)
+// turned into a traffic-shaped service.
+//
+// Every request, including the single-query GET endpoints, runs
+// through one query.Batch drawn from a sync.Pool, so steady-state
+// serving reuses world samplers, BFS scratch and integer accumulators
+// across requests. Worlds are sampled once per request and shared by
+// all of the request's queries.
+//
+// Determinism contract: a request that does not pin a seed gets one
+// derived from the server's base seed and the request's content
+// (worlds + query list), so identical requests always return identical
+// answers — cache-friendly and replayable — while different requests
+// get decorrelated world streams. A pinned "seed" field overrides the
+// derivation. Responses echo the worlds and seed used.
+package qserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"uncertaingraph/internal/query"
+	"uncertaingraph/internal/randx"
+	"uncertaingraph/internal/uncertain"
+)
+
+// Default limits bounding the per-request Monte-Carlo cost.
+const (
+	DefaultMaxWorlds  = 20000
+	DefaultMaxQueries = 1024
+)
+
+// Server answers possible-world Monte-Carlo queries over one published
+// uncertain graph. The zero value is not usable; set G. A Server is
+// safe for concurrent use: each in-flight request owns a pooled
+// query.Batch, and the graph itself is read-only.
+type Server struct {
+	// G is the published uncertain graph being served.
+	G *uncertain.Graph
+	// Worlds is the per-request default sample size (0 selects the
+	// Hoeffding default, 738).
+	Worlds int
+	// MaxWorlds caps the per-request sample size (0 selects
+	// DefaultMaxWorlds).
+	MaxWorlds int
+	// MaxQueries caps the number of queries per batch request (0
+	// selects DefaultMaxQueries).
+	MaxQueries int
+	// Workers bounds concurrent world evaluations per request (<= 0
+	// selects GOMAXPROCS); answers are identical for every value.
+	Workers int
+	// Seed is the base seed for the content-derived per-request world
+	// streams.
+	Seed int64
+
+	pool sync.Pool
+}
+
+// QueryRequest is one query of a batch request.
+type QueryRequest struct {
+	// Op is "reliability", "distance" or "knn".
+	Op string `json:"op"`
+	// S is the source vertex (all ops).
+	S int `json:"s"`
+	// T is the target vertex (reliability, distance).
+	T int `json:"t,omitempty"`
+	// K is the neighbour count (knn).
+	K int `json:"k,omitempty"`
+}
+
+// BatchRequest is the body of POST /batch.
+type BatchRequest struct {
+	// Worlds overrides the server's per-request sample size.
+	Worlds int `json:"worlds,omitempty"`
+	// Seed pins the world stream; omitted, it is derived from the
+	// request content.
+	Seed    *int64         `json:"seed,omitempty"`
+	Queries []QueryRequest `json:"queries"`
+}
+
+// NeighborResult is one ranked k-NN neighbour.
+type NeighborResult struct {
+	V      int `json:"v"`
+	Median int `json:"median"`
+}
+
+// QueryResult is one query's answer; exactly the fields of its op are
+// populated. T and K are pointers so that valid zero arguments (t=0 is
+// a vertex) are still echoed, while fields foreign to the op are
+// omitted.
+type QueryResult struct {
+	Op string `json:"op"`
+	S  int    `json:"s"`
+	T  *int   `json:"t,omitempty"`
+	K  *int   `json:"k,omitempty"`
+
+	Reliability *float64 `json:"reliability,omitempty"`
+	// Distances maps distance -> probability; Disconnected carries the
+	// remaining mass and Median the count-rule median (-1 when the
+	// median is a disconnection).
+	Distances    map[int]float64  `json:"distances,omitempty"`
+	Disconnected *float64         `json:"disconnected,omitempty"`
+	Median       *int             `json:"median,omitempty"`
+	Neighbors    []NeighborResult `json:"neighbors,omitempty"`
+}
+
+// BatchResponse is the body of every query response.
+type BatchResponse struct {
+	Worlds  int           `json:"worlds"`
+	Seed    int64         `json:"seed"`
+	Results []QueryResult `json:"results"`
+}
+
+type healthResponse struct {
+	Vertices      int `json:"vertices"`
+	Pairs         int `json:"pairs"`
+	DefaultWorlds int `json:"default_worlds"`
+	MaxWorlds     int `json:"max_worlds"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP handler serving the query API:
+//
+//	GET  /healthz
+//	GET  /reliability?s=&t=[&worlds=][&seed=]
+//	GET  /distance?s=&t=[&worlds=][&seed=]
+//	GET  /knn?s=&k=[&worlds=][&seed=]
+//	POST /batch           (BatchRequest body)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /reliability", s.handleSingle("reliability"))
+	mux.HandleFunc("GET /distance", s.handleSingle("distance"))
+	mux.HandleFunc("GET /knn", s.handleSingle("knn"))
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Vertices:      s.G.NumVertices(),
+		Pairs:         s.G.NumPairs(),
+		DefaultWorlds: s.worlds(0),
+		MaxWorlds:     s.maxWorlds(),
+	})
+}
+
+// handleSingle adapts one GET endpoint onto the batch path: the
+// response is a BatchResponse carrying a single result.
+func (s *Server) handleSingle(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := QueryRequest{Op: op}
+		var err error
+		if q.S, err = intParam(r, "s"); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		switch op {
+		case "knn":
+			q.K, err = intParam(r, "k")
+		default:
+			q.T, err = intParam(r, "t")
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req := BatchRequest{Queries: []QueryRequest{q}}
+		if v := r.URL.Query().Get("worlds"); v != "" {
+			if req.Worlds, err = strconv.Atoi(v); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("parameter worlds: %w", err))
+				return
+			}
+		}
+		if v := r.URL.Query().Get("seed"); v != "" {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("parameter seed: %w", err))
+				return
+			}
+			req.Seed = &seed
+		}
+		s.serve(w, &req)
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	s.serve(w, &req)
+}
+
+// serve validates req, runs it through a pooled batch and writes the
+// response.
+func (s *Server) serve(w http.ResponseWriter, req *BatchRequest) {
+	if err := s.validate(req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	worlds := s.worlds(req.Worlds)
+	seed := s.requestSeed(req, worlds)
+
+	b := s.acquire()
+	ids := make([]int, len(req.Queries))
+	for i, q := range req.Queries {
+		switch q.Op {
+		case "reliability":
+			ids[i] = b.AddReliability(q.S, q.T)
+		case "distance":
+			ids[i] = b.AddDistance(q.S, q.T)
+		case "knn":
+			ids[i] = b.AddKNearest(q.S, q.K)
+		}
+	}
+	b.Worlds = worlds
+	b.Seed = seed
+	b.Workers = s.Workers
+	b.Run()
+
+	resp := BatchResponse{Worlds: worlds, Seed: seed, Results: make([]QueryResult, len(req.Queries))}
+	for i, q := range req.Queries {
+		res := QueryResult{Op: q.Op, S: q.S}
+		switch q.Op {
+		case "reliability", "distance":
+			res.T = &q.T
+		case "knn":
+			res.K = &q.K
+		}
+		switch q.Op {
+		case "reliability":
+			rel := b.Reliability(ids[i])
+			res.Reliability = &rel
+		case "distance":
+			dist, disc := b.DistanceDistribution(ids[i])
+			med := b.MedianDistance(ids[i])
+			res.Distances = dist
+			res.Disconnected = &disc
+			res.Median = &med
+		case "knn":
+			neighbors := b.KNearestWithMedians(ids[i])
+			res.Neighbors = make([]NeighborResult, len(neighbors))
+			for j, nb := range neighbors {
+				res.Neighbors[j] = NeighborResult{V: nb.V, Median: nb.Median}
+			}
+		}
+		resp.Results[i] = res
+	}
+	s.pool.Put(b)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) validate(req *BatchRequest) error {
+	if len(req.Queries) == 0 {
+		return fmt.Errorf("empty query list")
+	}
+	if max := s.maxQueries(); len(req.Queries) > max {
+		return fmt.Errorf("%d queries exceed the per-request limit %d", len(req.Queries), max)
+	}
+	if max := s.maxWorlds(); req.Worlds > max {
+		return fmt.Errorf("worlds %d exceeds the per-request limit %d", req.Worlds, max)
+	}
+	if req.Worlds < 0 {
+		return fmt.Errorf("negative worlds %d", req.Worlds)
+	}
+	n := s.G.NumVertices()
+	for i, q := range req.Queries {
+		if q.S < 0 || q.S >= n {
+			return fmt.Errorf("query %d: vertex s=%d out of range [0,%d)", i, q.S, n)
+		}
+		switch q.Op {
+		case "reliability", "distance":
+			if q.T < 0 || q.T >= n {
+				return fmt.Errorf("query %d: vertex t=%d out of range [0,%d)", i, q.T, n)
+			}
+		case "knn":
+			if q.K < 1 {
+				return fmt.Errorf("query %d: k=%d must be positive", i, q.K)
+			}
+		default:
+			return fmt.Errorf("query %d: unknown op %q", i, q.Op)
+		}
+	}
+	return nil
+}
+
+func (s *Server) worlds(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if s.Worlds > 0 {
+		return s.Worlds
+	}
+	return query.DefaultWorlds()
+}
+
+func (s *Server) maxWorlds() int {
+	if s.MaxWorlds > 0 {
+		return s.MaxWorlds
+	}
+	return DefaultMaxWorlds
+}
+
+func (s *Server) maxQueries() int {
+	if s.MaxQueries > 0 {
+		return s.MaxQueries
+	}
+	return DefaultMaxQueries
+}
+
+// requestSeed maps a request to its world-stream seed: the pinned seed
+// when given, otherwise a derivation from the server's base seed and
+// the request content, so identical requests return identical answers.
+func (s *Server) requestSeed(req *BatchRequest, worlds int) int64 {
+	if req.Seed != nil {
+		return *req.Seed
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", worlds)
+	for _, q := range req.Queries {
+		fmt.Fprintf(h, "|%s:%d:%d:%d", q.Op, q.S, q.T, q.K)
+	}
+	return randx.Derive(s.Seed, h.Sum64())
+}
+
+// acquire returns a reset batch from the pool, or a fresh one when the
+// pool is empty.
+func (s *Server) acquire() *query.Batch {
+	if b, ok := s.pool.Get().(*query.Batch); ok {
+		b.Reset()
+		return b
+	}
+	return query.NewBatch(s.G, query.Config{})
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing parameter %s", name)
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", name, err)
+	}
+	return i, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

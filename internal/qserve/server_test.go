@@ -1,0 +1,236 @@
+package qserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"uncertaingraph/internal/uncertain"
+)
+
+// testGraph is the chain 0-1-2-3 with probability 0.8 per edge plus a
+// certain edge 3-4, giving both probabilistic and deterministic
+// structure.
+func testGraph(t *testing.T) *uncertain.Graph {
+	t.Helper()
+	g, err := uncertain.New(5, []uncertain.Pair{
+		{U: 0, V: 1, P: 0.8}, {U: 1, V: 2, P: 0.8}, {U: 2, V: 3, P: 0.8},
+		{U: 3, V: 4, P: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := &Server{G: testGraph(t), Worlds: 400, Seed: 11}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	status, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Vertices != 5 || h.Pairs != 4 || h.DefaultWorlds != 400 {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestReliabilityEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, body := get(t, ts.URL+"/reliability?s=3&t=4")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Reliability == nil {
+		t.Fatalf("response %s", body)
+	}
+	// The 3-4 edge is certain.
+	if got := *resp.Results[0].Reliability; got != 1 {
+		t.Errorf("Pr(3~4) = %v, want 1", got)
+	}
+	if resp.Worlds != 400 {
+		t.Errorf("worlds = %d, want the server default 400", resp.Worlds)
+	}
+	// A zero-valued target must still be echoed (T is a pointer
+	// precisely so t=0 survives omitempty).
+	_, body0 := get(t, ts.URL+"/reliability?s=3&t=0")
+	if !strings.Contains(string(body0), `"t":0`) {
+		t.Errorf("t=0 not echoed in %s", body0)
+	}
+}
+
+func TestDistanceEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, body := get(t, ts.URL+"/distance?s=0&t=2&worlds=2000")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Results[0]
+	if res.Median == nil || res.Disconnected == nil || res.Distances == nil {
+		t.Fatalf("response %s", body)
+	}
+	// P(d=2) = 0.64: the median must be 2 and all mass accountable.
+	if *res.Median != 2 {
+		t.Errorf("median = %d, want 2", *res.Median)
+	}
+	var mass float64
+	for _, p := range res.Distances {
+		mass += p
+	}
+	if diff := mass + *res.Disconnected - 1; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("mass %v + disconnected %v != 1", mass, *res.Disconnected)
+	}
+}
+
+func TestKNNEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, body := get(t, ts.URL+"/knn?s=4&k=2")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	nb := resp.Results[0].Neighbors
+	if len(nb) != 2 || nb[0].V != 3 || nb[0].Median != 1 {
+		t.Errorf("neighbors = %+v, want 3 (median 1) first", nb)
+	}
+}
+
+func TestBatchEndpointAndDeterminism(t *testing.T) {
+	ts := testServer(t)
+	reqBody := `{"worlds":500,"queries":[
+		{"op":"reliability","s":0,"t":3},
+		{"op":"distance","s":0,"t":3},
+		{"op":"knn","s":0,"k":3}]}`
+	post := func() (int, []byte) {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+	status, body1 := get(t, ts.URL+"/healthz") // warm an unrelated path
+	if status != http.StatusOK {
+		t.Fatal(string(body1))
+	}
+	s1, b1 := post()
+	s2, b2 := post()
+	if s1 != http.StatusOK || s2 != http.StatusOK {
+		t.Fatalf("status %d/%d: %s", s1, s2, b1)
+	}
+	// Content-derived seeds: identical requests, identical answers.
+	if string(b1) != string(b2) {
+		t.Errorf("identical requests answered differently:\n%s\nvs\n%s", b1, b2)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(b1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(resp.Results))
+	}
+	// Same worlds inside the batch: reliability == 1 - disconnected (up
+	// to the float division by r).
+	rel := *resp.Results[0].Reliability
+	disc := *resp.Results[1].Disconnected
+	if diff := rel - (1 - disc); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("reliability %v != 1 - disconnected %v on shared worlds", rel, disc)
+	}
+	// A pinned seed overrides the derivation and changes the answer
+	// stream (same estimator, different worlds).
+	resp2, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`{"worlds":500,"seed":123,"queries":[{"op":"reliability","s":0,"t":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var pinned BatchResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&pinned); err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Seed != 123 {
+		t.Errorf("pinned seed not echoed: %d", pinned.Seed)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, url string
+	}{
+		{"missing t", "/reliability?s=0"},
+		{"bad vertex", "/reliability?s=0&t=99"},
+		{"negative vertex", "/distance?s=-1&t=2"},
+		{"zero k", "/knn?s=0&k=0"},
+		{"bad int", "/knn?s=abc&k=2"},
+		{"worlds over cap", fmt.Sprintf("/reliability?s=0&t=1&worlds=%d", DefaultMaxWorlds+1)},
+	}
+	for _, c := range cases {
+		status, body := get(t, ts.URL+c.url)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", c.name, status, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: no error message in %s", c.name, body)
+		}
+	}
+	// Unknown op and empty list via POST.
+	for _, reqBody := range []string{
+		`{"queries":[{"op":"pagerank","s":0}]}`,
+		`{"queries":[]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", reqBody, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,588 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"uncertaingraph/internal/bfs"
+	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/randx"
+	"uncertaingraph/internal/uncertain"
+)
+
+// Config tunes a Batch run.
+type Config struct {
+	// Worlds is the Monte-Carlo sample size shared by every query in
+	// the batch (0 selects the Hoeffding size for ±0.05 at 95%
+	// confidence on indicator statistics, 738).
+	Worlds int
+	// Seed determines the sampled worlds: world i's RNG stream depends
+	// only on (Seed, i), so results are reproducible and identical for
+	// every Workers value.
+	Seed int64
+	// Workers bounds the number of concurrent world evaluations
+	// (<= 0 selects GOMAXPROCS). Each worker owns one sampler, one
+	// reseedable RNG and one BFS scratch; per-world contributions are
+	// integer counts, so the merged results are bit-identical for every
+	// value.
+	Workers int
+}
+
+// Batch evaluates many queries against one shared set of sampled
+// possible worlds: each world is materialized once, one BFS runs per
+// distinct query source per world, and every query with that source
+// consumes the same distance array. This is the serving shape — a
+// request carrying q queries costs r worlds + r·|sources| BFS runs
+// instead of the q·r worlds the one-query-at-a-time Engine methods
+// would spend, and the per-world loop allocates nothing once the
+// buffers have grown (every accumulator is an integer count).
+//
+// A Batch is reusable: Reset clears the registered queries while
+// keeping the sampling template, worker buffers and accumulators, so a
+// long-lived server pools Batches across requests. A Batch must not be
+// used concurrently; concurrency lives inside Run (the Workers fan-out)
+// and across independent Batches.
+type Batch struct {
+	// Worlds, Seed and Workers may be adjusted between Run calls; see
+	// Config for their meaning.
+	Worlds  int
+	Seed    int64
+	Workers int
+
+	g *uncertain.Graph
+
+	// Query registry.
+	queries           []qmeta
+	nrel, ndist, nknn int
+	sources           []int32 // distinct BFS sources, first-appearance order
+	srcIndex          map[int32]int
+	srcQueries        [][]int32 // per source slot: attached rel/dist query ids
+	knnSlots          []int32   // per source slot: shared k-NN histogram slot, -1 if none
+
+	// Run machinery, lazily built and reused across runs.
+	proto  *uncertain.Sampler
+	master *rand.Rand
+	seeds  []int64
+	ws     []*worker
+
+	// Merged results of the last Run.
+	relHits   []int64
+	distDisc  []int64
+	distHist  [][]int32
+	knnHist   [][]int32 // d-major: hist[d*n + v]
+	worldsRun int
+	ran       bool
+
+	cands []cand // scratch for k-NN ranking
+}
+
+type qkind uint8
+
+const (
+	qReliability qkind = iota
+	qDistance
+	qKNearest
+)
+
+// qmeta is one registered query: its kind, its slot in the per-kind
+// accumulator arrays, and its arguments.
+type qmeta struct {
+	kind    qkind
+	slot    int32
+	s, t, k int32
+}
+
+// worker bundles the per-goroutine state of one Run: a world sampler
+// cloned from the batch's template, a reseedable RNG, the shared BFS
+// scratch, and integer accumulators for every registered query.
+type worker struct {
+	sampler *uncertain.Sampler
+	rng     *rand.Rand
+	scratch *bfs.Scratch
+	rel     []int64
+	disc    []int64
+	distH   [][]int32
+	knnH    [][]int32
+}
+
+// NewBatch returns an empty batch over g. The sampling template and
+// all per-worker buffers are built lazily on the first Run.
+func NewBatch(g *uncertain.Graph, cfg Config) *Batch {
+	return &Batch{
+		g:        g,
+		Worlds:   cfg.Worlds,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+		srcIndex: make(map[int32]int),
+	}
+}
+
+// Graph returns the uncertain graph the batch queries.
+func (b *Batch) Graph() *uncertain.Graph { return b.g }
+
+// NumQueries returns the number of registered queries.
+func (b *Batch) NumQueries() int { return len(b.queries) }
+
+// Reset clears the registered queries while keeping every buffer, so a
+// serving loop can reuse one Batch across requests without
+// re-allocating accumulators or re-sorting the sampling template.
+func (b *Batch) Reset() {
+	b.queries = b.queries[:0]
+	b.nrel, b.ndist, b.nknn = 0, 0, 0
+	b.sources = b.sources[:0]
+	clear(b.srcIndex)
+	for i := range b.srcQueries {
+		b.srcQueries[i] = b.srcQueries[i][:0]
+	}
+	for i := range b.knnSlots {
+		b.knnSlots[i] = -1
+	}
+	b.ran = false
+}
+
+// AddReliability registers a two-terminal reliability query Pr(s ~ t)
+// and returns its query id.
+func (b *Batch) AddReliability(s, t int) int {
+	b.checkVertex(s)
+	b.checkVertex(t)
+	slot := b.nrel
+	b.nrel++
+	return b.add(qmeta{kind: qReliability, slot: int32(slot), s: int32(s), t: int32(t)})
+}
+
+// AddDistance registers a distance-distribution query for the pair
+// (s, t) and returns its query id; the result answers the full
+// distribution, the disconnection probability and the count-rule
+// median.
+func (b *Batch) AddDistance(s, t int) int {
+	b.checkVertex(s)
+	b.checkVertex(t)
+	slot := b.ndist
+	b.ndist++
+	return b.add(qmeta{kind: qDistance, slot: int32(slot), s: int32(s), t: int32(t)})
+}
+
+// AddKNearest registers a median-distance k-nearest-neighbour query
+// from s and returns its query id. The per-vertex distance histogram
+// depends only on the source, so k-NN queries sharing a source share
+// one histogram slot (filled once per world) and differ only at
+// ranking time.
+func (b *Batch) AddKNearest(s, k int) int {
+	b.checkVertex(s)
+	if k < 0 {
+		panic(fmt.Sprintf("query: negative k %d", k))
+	}
+	si := b.sourceSlot(int32(s))
+	slot := b.knnSlots[si]
+	if slot < 0 {
+		slot = int32(b.nknn)
+		b.nknn++
+		b.knnSlots[si] = slot
+	}
+	id := len(b.queries)
+	b.queries = append(b.queries, qmeta{kind: qKNearest, slot: slot, s: int32(s), k: int32(k)})
+	b.ran = false
+	return id
+}
+
+func (b *Batch) checkVertex(v int) {
+	if v < 0 || v >= b.g.NumVertices() {
+		panic(fmt.Sprintf("query: vertex %d out of range [0,%d)", v, b.g.NumVertices()))
+	}
+}
+
+func (b *Batch) add(q qmeta) int {
+	id := len(b.queries)
+	b.queries = append(b.queries, q)
+	si := b.sourceSlot(q.s)
+	b.srcQueries[si] = append(b.srcQueries[si], int32(id))
+	b.ran = false
+	return id
+}
+
+// sourceSlot interns s into the distinct-source table; all queries
+// sharing a source share one BFS per world.
+func (b *Batch) sourceSlot(s int32) int {
+	if si, ok := b.srcIndex[s]; ok {
+		return si
+	}
+	si := len(b.sources)
+	b.sources = append(b.sources, s)
+	if len(b.srcQueries) <= si {
+		b.srcQueries = append(b.srcQueries, nil)
+	}
+	if len(b.knnSlots) <= si {
+		b.knnSlots = append(b.knnSlots, -1)
+	}
+	b.srcIndex[s] = si
+	return si
+}
+
+// DefaultWorlds returns the Hoeffding sample size used when Worlds is
+// unset: 738 worlds for ±0.05 at 95% confidence on indicator
+// statistics (paper Lemma 2 / Corollary 1).
+func DefaultWorlds() int { return mathx.HoeffdingSampleSize(0, 1, 0.05, 0.05) }
+
+func (b *Batch) worlds() int {
+	if b.Worlds > 0 {
+		return b.Worlds
+	}
+	return DefaultWorlds()
+}
+
+func (b *Batch) workerCount(jobs int) int {
+	w := b.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run samples the batch's worlds and evaluates every registered query
+// against each, following the same determinism discipline as the
+// sampling pipeline: world seeds are pre-derived from Seed
+// (randx.FillWorldSeeds), each world's contribution depends only on
+// its seed, and all accumulators are integer counts, so results are
+// bit-identical for every Workers value. Run may be called again — the
+// same Seed reproduces the same answers, a new Seed resamples.
+func (b *Batch) Run() {
+	r := b.worlds()
+	workers := b.workerCount(r)
+	b.prepare(workers, r)
+	if workers == 1 {
+		w := b.ws[0]
+		for i := 0; i < r; i++ {
+			b.scanWorld(w, i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for i := range next {
+					b.scanWorld(w, i)
+				}
+			}(b.ws[k])
+		}
+		for i := 0; i < r; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	b.merge(workers)
+	b.worldsRun = r
+	b.ran = true
+}
+
+// prepare refreshes the world-seed table and the per-worker samplers
+// and accumulators, reusing every buffer from previous runs.
+func (b *Batch) prepare(workers, r int) {
+	if cap(b.seeds) < r {
+		b.seeds = make([]int64, r)
+	}
+	b.seeds = b.seeds[:r]
+	if b.master == nil {
+		b.master = randx.New(b.Seed)
+	} else {
+		b.master.Seed(b.Seed)
+	}
+	randx.FillWorldSeeds(b.seeds, b.master)
+	if b.proto == nil {
+		b.proto = b.g.NewSampler()
+		b.ws = append(b.ws, &worker{
+			sampler: b.proto, rng: randx.New(0), scratch: bfs.NewScratch(),
+		})
+	}
+	for len(b.ws) < workers {
+		b.ws = append(b.ws, &worker{
+			sampler: b.proto.Clone(), rng: randx.New(0), scratch: bfs.NewScratch(),
+		})
+	}
+	for k := 0; k < workers; k++ {
+		b.ws[k].prepare(b.nrel, b.ndist, b.nknn)
+	}
+}
+
+func (w *worker) prepare(nrel, ndist, nknn int) {
+	w.rel = resetCounts64(w.rel, nrel)
+	w.disc = resetCounts64(w.disc, ndist)
+	w.distH = resetHists(w.distH, ndist)
+	w.knnH = resetHists(w.knnH, nknn)
+}
+
+func resetCounts64(xs []int64, n int) []int64 {
+	if cap(xs) < n {
+		xs = make([]int64, n)
+	}
+	xs = xs[:n]
+	clear(xs)
+	return xs
+}
+
+// resetHists truncates every histogram to empty after zeroing its full
+// capacity, establishing the invariant growCounts relies on: any
+// region re-exposed by reslicing within capacity is already zero.
+// Growth within the outer capacity reslices rather than appends, so
+// histograms retained beyond a shrunken run (a pooled batch serving a
+// smaller request) are recovered, not overwritten.
+func resetHists(hs [][]int32, n int) [][]int32 {
+	if n <= cap(hs) {
+		hs = hs[:n]
+	} else {
+		hs = append(hs[:cap(hs)], make([][]int32, n-cap(hs))...)
+	}
+	for i := range hs {
+		h := hs[i][:cap(hs[i])]
+		clear(h)
+		hs[i] = h[:0]
+	}
+	return hs
+}
+
+// growCounts extends h to length need. Entries exposed within the
+// existing capacity were pre-zeroed by resetHists; entries in a grown
+// backing array are fresh zero memory.
+func growCounts(h []int32, need int) []int32 {
+	if need <= len(h) {
+		return h
+	}
+	for cap(h) < need {
+		h = append(h, 0)
+	}
+	return h[:need]
+}
+
+// scanWorld materializes world i into w's sampler buffers, runs one
+// BFS per distinct source, and folds every query's observation into
+// w's integer accumulators. Steady-state cost: zero heap allocations.
+func (b *Batch) scanWorld(w *worker, i int) {
+	// Reseeding replays exactly the stream randx.New(seed) would
+	// produce, without constructing a new generator.
+	w.rng.Seed(b.seeds[i])
+	world := w.sampler.Sample(w.rng)
+	n := world.NumVertices()
+	for si, s := range b.sources {
+		dist := w.scratch.FromSourceInto(world, int(s))
+		for _, id := range b.srcQueries[si] {
+			q := &b.queries[id]
+			switch q.kind {
+			case qReliability:
+				if dist[q.t] >= 0 {
+					w.rel[q.slot]++
+				}
+			case qDistance:
+				if d := dist[q.t]; d < 0 {
+					w.disc[q.slot]++
+				} else {
+					h := growCounts(w.distH[q.slot], int(d)+1)
+					h[d]++
+					w.distH[q.slot] = h
+				}
+			}
+		}
+		// The k-NN histogram is a property of the source alone; fill it
+		// once per world, shared by every k-NN query with this source.
+		if slot := b.knnSlots[si]; slot >= 0 {
+			maxd := int32(-1)
+			for _, d := range dist {
+				if d > maxd {
+					maxd = d
+				}
+			}
+			if maxd >= 0 {
+				h := growCounts(w.knnH[slot], (int(maxd)+1)*n)
+				for v, d := range dist {
+					if d >= 0 {
+						h[int(d)*n+v]++
+					}
+				}
+				w.knnH[slot] = h
+			}
+		}
+	}
+}
+
+// merge folds every worker's accumulators into worker 0's; all
+// contributions are integer counts, so the result does not depend on
+// how worlds were distributed across workers.
+func (b *Batch) merge(workers int) {
+	w0 := b.ws[0]
+	for k := 1; k < workers; k++ {
+		w := b.ws[k]
+		for i, v := range w.rel {
+			w0.rel[i] += v
+		}
+		for i, v := range w.disc {
+			w0.disc[i] += v
+		}
+		for i, h := range w.distH {
+			w0.distH[i] = addCounts(w0.distH[i], h)
+		}
+		for i, h := range w.knnH {
+			w0.knnH[i] = addCounts(w0.knnH[i], h)
+		}
+	}
+	b.relHits = w0.rel
+	b.distDisc = w0.disc
+	b.distHist = w0.distH
+	b.knnHist = w0.knnH
+}
+
+func addCounts(dst, src []int32) []int32 {
+	dst = growCounts(dst, len(src))
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+func (b *Batch) query(id int, kind qkind) *qmeta {
+	if !b.ran {
+		panic("query: result accessed before Run")
+	}
+	if id < 0 || id >= len(b.queries) {
+		panic(fmt.Sprintf("query: id %d out of range", id))
+	}
+	q := &b.queries[id]
+	if q.kind != kind {
+		panic(fmt.Sprintf("query: id %d is not a %v query", id, kind))
+	}
+	return q
+}
+
+// Reliability returns the estimated two-terminal reliability of query
+// id (registered via AddReliability).
+func (b *Batch) Reliability(id int) float64 {
+	q := b.query(id, qReliability)
+	return float64(b.relHits[q.slot]) / float64(b.worldsRun)
+}
+
+// DistanceDistribution returns the estimated distribution of
+// dist(s, t) — dist[d] = Pr(dist = d) — plus the disconnection
+// probability, for query id (registered via AddDistance).
+func (b *Batch) DistanceDistribution(id int) (dist map[int]float64, disconnected float64) {
+	q := b.query(id, qDistance)
+	h := b.distHist[q.slot]
+	r := float64(b.worldsRun)
+	dist = make(map[int]float64)
+	for d, c := range h {
+		if c > 0 {
+			dist[d] = float64(c) / r
+		}
+	}
+	return dist, float64(b.distDisc[q.slot]) / r
+}
+
+// MedianDistance returns the count-rule median of dist(s, t) for query
+// id (registered via AddDistance): the smallest d whose cumulative
+// world count reaches ceil(r/2), with the disconnection bucket last
+// (-1 when the median itself is a disconnection). This is the same
+// rule k-NN ranking applies, so both APIs provably agree on shared
+// worlds.
+func (b *Batch) MedianDistance(id int) int {
+	q := b.query(id, qDistance)
+	return medianOfCounts(b.distHist[q.slot], b.worldsRun)
+}
+
+// medianOfCounts returns the count-rule median distance given
+// per-distance occurrence counts over r worlds: the disconnection
+// bucket (the r - sum(counts) worlds where the target was unreached,
+// i.e. at distance +infinity) sorts last, and -1 reports that the
+// median is a disconnection.
+func medianOfCounts(counts []int32, r int) int {
+	half := (r + 1) / 2
+	cum := 0
+	for d, c := range counts {
+		cum += int(c)
+		if cum >= half {
+			return d
+		}
+	}
+	return -1
+}
+
+// Neighbor is one ranked k-NN result: a vertex and its count-rule
+// median distance from the query source.
+type Neighbor struct {
+	V      int
+	Median int
+}
+
+// KNearest returns the k vertices with the smallest median distance to
+// the query source (excluding the source), ties broken by vertex id,
+// for query id (registered via AddKNearest).
+func (b *Batch) KNearest(id int) []int {
+	cands := b.knnRank(id)
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.v
+	}
+	return out
+}
+
+// KNearestWithMedians is KNearest with each neighbour's median
+// distance attached.
+func (b *Batch) KNearestWithMedians(id int) []Neighbor {
+	cands := b.knnRank(id)
+	out := make([]Neighbor, len(cands))
+	for i, c := range cands {
+		out[i] = Neighbor{V: c.v, Median: c.median}
+	}
+	return out
+}
+
+// knnRank extracts per-vertex count-rule medians from the query's
+// d-major histogram and returns the top k candidates; the returned
+// slice aliases the batch's ranking scratch.
+func (b *Batch) knnRank(id int) []cand {
+	q := b.query(id, qKNearest)
+	h := b.knnHist[q.slot]
+	n := b.g.NumVertices()
+	half := (b.worldsRun + 1) / 2
+	maxD := len(h) / n
+	b.cands = b.cands[:0]
+	for v := 0; v < n; v++ {
+		if v == int(q.s) {
+			continue
+		}
+		cum := 0
+		for d := 0; d < maxD; d++ {
+			if cum += int(h[d*n+v]); cum >= half {
+				b.cands = append(b.cands, cand{v: v, median: d})
+				break
+			}
+		}
+	}
+	sortCands(b.cands)
+	if k := int(q.k); k < len(b.cands) {
+		return b.cands[:k]
+	}
+	return b.cands
+}
+
+// cand is a k-NN candidate: a vertex and its median distance.
+type cand struct {
+	v      int
+	median int
+}
+
+func sortCands(cands []cand) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].median != cands[j].median {
+			return cands[i].median < cands[j].median
+		}
+		return cands[i].v < cands[j].v
+	})
+}

@@ -1,0 +1,63 @@
+package query
+
+import "testing"
+
+// benchSink keeps the compiler from eliding result extraction.
+var benchSink float64
+
+// BenchmarkBatchQueries measures the serving hot path: one reusable
+// batch carrying a request-shaped mix of queries (8 sources, each with
+// a reliability, a distance and a k-NN query), re-run with a fresh
+// seed per iteration. After the first Run has grown the buffers, the
+// per-world loop — reseed, sample, one BFS per source, integer
+// accumulation — performs zero heap allocations, which ReportAllocs
+// pins in BENCH_query.json via `make bench-query`.
+func BenchmarkBatchQueries(b *testing.B) {
+	g := dblpUncertain(b)
+	batch := NewBatch(g, Config{Worlds: 64, Workers: 1})
+	var relIDs, distIDs, knnIDs []int
+	for i := 0; i < 8; i++ {
+		s, t := 17*i, 23*i+31
+		relIDs = append(relIDs, batch.AddReliability(s, t))
+		distIDs = append(distIDs, batch.AddDistance(s, t))
+		knnIDs = append(knnIDs, batch.AddKNearest(s, 10))
+	}
+	// Warm up over the whole seed cycle: histograms grow once per
+	// never-seen max distance, so visiting every seed beforehand leaves
+	// the measured loop allocation-free.
+	const seedCycle = 16
+	for i := 0; i < seedCycle; i++ {
+		batch.Seed = int64(i)
+		batch.Run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Seed = int64(i % seedCycle)
+		batch.Run()
+		benchSink = batch.Reliability(relIDs[0]) + float64(batch.MedianDistance(distIDs[0]))
+	}
+	_ = knnIDs
+}
+
+// BenchmarkSingleQueries is the contrast case: the same 24 queries
+// served one at a time through the one-shot Engine layer, each call
+// sampling its own 64 worlds. The gap against BenchmarkBatchQueries is
+// the point of the batch engine — shared worlds and shared BFS trees.
+func BenchmarkSingleQueries(b *testing.B) {
+	g := dblpUncertain(b)
+	e := &Engine{G: g, Worlds: 64, Workers: 1}
+	e.Reliability(0, 31) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var acc float64
+		for j := 0; j < 8; j++ {
+			s, t := 17*j, 23*j+31
+			acc += e.Reliability(s, t)
+			acc += float64(e.MedianDistance(s, t))
+			e.KNearest(s, 10)
+		}
+		benchSink = acc
+	}
+}

@@ -8,70 +8,98 @@
 // All queries are possible-world Monte Carlo with Hoeffding-bounded
 // sample sizes (paper Lemma 2 / Corollary 1): indicators and bounded
 // statistics concentrate after r = ln(2/δ)/(2ε²) worlds.
+//
+// Two entry styles are provided. The Batch engine is the serving path:
+// it samples each world once and evaluates many queries against it,
+// sharing one BFS per distinct source per world, with zero heap
+// allocations in the steady-state world loop. The Engine methods are
+// the one-shot convenience layer; each call runs a single-query batch
+// on its own derived world stream.
+//
+// Every median in this package — MedianDistance and the k-NN ranking
+// alike — uses the same count-based rule: the smallest distance whose
+// cumulative world count reaches ceil(r/2), with the disconnection
+// bucket (+infinity) sorted last. The rule is exact integer
+// arithmetic, so it cannot drift from float accumulation the way a
+// "cumulative probability >= 0.5" walk does.
 package query
 
 import (
 	"math/rand"
-	"sort"
 
-	"uncertaingraph/internal/bfs"
-	"uncertaingraph/internal/graph"
-	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/randx"
 	"uncertaingraph/internal/uncertain"
 )
 
-// Engine runs world-sampling queries over one uncertain graph.
+// Engine runs world-sampling queries over one uncertain graph: the
+// one-query-at-a-time layer on top of Batch.
 type Engine struct {
 	G *uncertain.Graph
 	// Worlds is the Monte-Carlo sample size (0 selects the Hoeffding
 	// size for ±0.05 at 95% confidence on indicator statistics, 738).
 	Worlds int
-	// Rng drives the sampling; nil selects a fixed seed.
+	// Rng, when non-nil, seeds each query's world stream by one Int63
+	// draw per call, so a run is replayable from the generator's
+	// initial state.
 	Rng *rand.Rand
+	// Seed is the base seed used when Rng is nil: the i-th query on
+	// the engine samples the stream randx.Derive(Seed, i), so
+	// successive queries are reproducible yet decorrelated instead of
+	// replaying identical worlds.
+	Seed int64
+	// Workers bounds concurrent world evaluations per query (<= 0
+	// selects GOMAXPROCS); results are identical for every value.
+	Workers int
 
-	// sampler lazily holds the reusable world buffers: queries walk
-	// each world transiently, so one set of CSR buffers serves every
-	// world of every query on this engine.
-	sampler *uncertain.Sampler
+	// calls counts queries served, indexing the derived streams.
+	calls uint64
+	// batch is the reusable single-query batch: world buffers, BFS
+	// scratch and accumulators persist across calls, so steady-state
+	// scalar queries allocate nothing. Rebuilt if the caller re-points
+	// G at a different graph.
+	batch *Batch
 }
 
-// world materializes the next possible world into the engine's
-// reusable buffers; the result is valid until the next call. The
-// sampler is rebuilt if the caller re-points G at a different graph.
-func (e *Engine) world(rng *rand.Rand) *graph.Graph {
-	if e.sampler == nil || e.sampler.Graph() != e.G {
-		e.sampler = e.G.NewSampler()
+// prepareBatch readies the engine's reusable batch for one fresh query
+// with the next derived world stream.
+func (e *Engine) prepareBatch() *Batch {
+	if e.batch == nil || e.batch.g != e.G {
+		e.batch = NewBatch(e.G, Config{})
 	}
-	return e.sampler.Sample(rng)
+	b := e.batch
+	b.Reset()
+	b.Worlds = e.worlds()
+	b.Workers = e.Workers
+	b.Seed = e.nextSeed()
+	return b
+}
+
+// nextSeed returns the world-stream seed for the next query: one Int63
+// draw from the explicit Rng when set, otherwise the call-indexed
+// derivation from the fixed engine seed.
+func (e *Engine) nextSeed() int64 {
+	if e.Rng != nil {
+		return e.Rng.Int63()
+	}
+	seed := randx.Derive(e.Seed, e.calls)
+	e.calls++
+	return seed
 }
 
 func (e *Engine) worlds() int {
 	if e.Worlds > 0 {
 		return e.Worlds
 	}
-	return mathx.HoeffdingSampleSize(0, 1, 0.05, 0.05)
-}
-
-func (e *Engine) rng() *rand.Rand {
-	if e.Rng != nil {
-		return e.Rng
-	}
-	return rand.New(rand.NewSource(1))
+	return DefaultWorlds()
 }
 
 // Reliability estimates the two-terminal reliability Pr(s ~ t): the
 // probability that s and t are connected in a possible world.
 func (e *Engine) Reliability(s, t int) float64 {
-	rng := e.rng()
-	r := e.worlds()
-	hits := 0
-	for i := 0; i < r; i++ {
-		w := e.world(rng)
-		if connected(w, s, t) {
-			hits++
-		}
-	}
-	return float64(hits) / float64(r)
+	b := e.prepareBatch()
+	id := b.AddReliability(s, t)
+	b.Run()
+	return b.Reliability(id)
 }
 
 // DistanceDistribution estimates the distribution of dist(s, t) over
@@ -79,47 +107,22 @@ func (e *Engine) Reliability(s, t int) float64 {
 // disconnection. This is the primitive behind the median-distance and
 // majority-distance semantics used for k-NN on uncertain graphs.
 func (e *Engine) DistanceDistribution(s, t int) (dist map[int]float64, disconnected float64) {
-	rng := e.rng()
-	r := e.worlds()
-	counts := make(map[int]int)
-	discon := 0
-	for i := 0; i < r; i++ {
-		w := e.world(rng)
-		d := bfs.FromSource(w, s)[t]
-		if d < 0 {
-			discon++
-		} else {
-			counts[d]++
-		}
-	}
-	dist = make(map[int]float64, len(counts))
-	for d, c := range counts {
-		dist[d] = float64(c) / float64(r)
-	}
-	return dist, float64(discon) / float64(r)
+	b := e.prepareBatch()
+	id := b.AddDistance(s, t)
+	b.Run()
+	return b.DistanceDistribution(id)
 }
 
 // MedianDistance returns the median of dist(s, t) over possible worlds,
 // with disconnection treated as +infinity (returned as -1 when the
 // median itself is a disconnection) — the robust distance of Potamias
-// et al.
+// et al. The median follows the count rule shared with KNearest (see
+// the package comment), not a float-mass walk.
 func (e *Engine) MedianDistance(s, t int) int {
-	dist, _ := e.DistanceDistribution(s, t)
-	// Walk distances in increasing order until half the mass is covered.
-	maxD := 0
-	for d := range dist {
-		if d > maxD {
-			maxD = d
-		}
-	}
-	var cum float64
-	for d := 0; d <= maxD; d++ {
-		cum += dist[d]
-		if cum >= 0.5 {
-			return d
-		}
-	}
-	return -1
+	b := e.prepareBatch()
+	id := b.AddDistance(s, t)
+	b.Run()
+	return b.MedianDistance(id)
 }
 
 // ExpectedDegree returns E[deg(v)], exact (sum of incident
@@ -127,103 +130,12 @@ func (e *Engine) MedianDistance(s, t int) int {
 func (e *Engine) ExpectedDegree(v int) float64 { return e.G.ExpectedDegree(v) }
 
 // KNearest returns the k vertices with the smallest median distance to
-// s (excluding s), breaking ties by vertex id — majority-distance k-NN
+// s (excluding s), breaking ties by vertex id — median-distance k-NN
 // over the uncertain graph. The implementation samples worlds once and
 // reuses the per-world BFS trees for all candidates.
 func (e *Engine) KNearest(s, k int) []int {
-	rng := e.rng()
-	r := e.worlds()
-	n := e.G.NumVertices()
-	// distSamples[v] collects dist(s,v) per world (-1 disconnected).
-	counts := make([][]int, n) // counts[v][d] occurrences; index maxD+1 = disconnected
-	for i := 0; i < r; i++ {
-		w := e.world(rng)
-		dists := bfs.FromSource(w, s)
-		for v, d := range dists {
-			if counts[v] == nil {
-				counts[v] = make([]int, n+1)
-			}
-			if d < 0 {
-				counts[v][n]++
-			} else {
-				counts[v][d]++
-			}
-		}
-	}
-	cands := make([]cand, 0, n-1)
-	for v := 0; v < n; v++ {
-		if v == s || counts[v] == nil {
-			continue
-		}
-		med := medianOf(counts[v], r, n)
-		if med >= 0 {
-			cands = append(cands, cand{v: v, median: med})
-		}
-	}
-	sortCands(cands)
-	if k > len(cands) {
-		k = len(cands)
-	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[i].v
-	}
-	return out
-}
-
-// medianOf returns the median distance given occurrence counts, with
-// the disconnection bucket at index n sorted last; -1 when the median
-// is a disconnection.
-func medianOf(counts []int, r, n int) int {
-	half := (r + 1) / 2
-	cum := 0
-	for d := 0; d < n; d++ {
-		cum += counts[d]
-		if cum >= half {
-			return d
-		}
-	}
-	return -1
-}
-
-// cand is a k-NN candidate: a vertex and its median distance.
-type cand struct {
-	v      int
-	median int
-}
-
-func sortCands(cands []cand) {
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].median != cands[j].median {
-			return cands[i].median < cands[j].median
-		}
-		return cands[i].v < cands[j].v
-	})
-}
-
-func connected(w interface {
-	Neighbors(int) []int32
-	NumVertices() int
-}, s, t int) bool {
-	if s == t {
-		return true
-	}
-	n := w.NumVertices()
-	seen := make([]bool, n)
-	stack := []int32{int32(s)}
-	seen[s] = true
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, v := range w.Neighbors(int(u)) {
-			if int(v) == t {
-				return true
-			}
-			if !seen[v] {
-				seen[v] = true
-				stack = append(stack, v)
-			}
-		}
-	}
-	return false
+	b := e.prepareBatch()
+	id := b.AddKNearest(s, k)
+	b.Run()
+	return b.KNearest(id)
 }

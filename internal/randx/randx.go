@@ -43,6 +43,17 @@ func Derive(seed int64, tags ...uint64) int64 {
 	return int64(x &^ (1 << 63)) // non-negative, matching rand.Seed conventions
 }
 
+// FillWorldSeeds fills seeds with one independent seed per world drawn
+// sequentially from master — the pre-derivation discipline shared by
+// the sampling and query engines: world i's RNG stream depends only on
+// the master seed and i, never on the worker count or the schedule, so
+// Monte-Carlo results are bit-identical for every Workers value.
+func FillWorldSeeds(seeds []int64, master *rand.Rand) {
+	for i := range seeds {
+		seeds[i] = master.Int63()
+	}
+}
+
 // Alias is a Walker alias table supporting O(1) draws from a fixed
 // discrete distribution over {0, ..., n-1}.
 type Alias struct {

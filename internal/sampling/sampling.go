@@ -198,11 +198,8 @@ func ScalarsInto(g *graph.Graph, cfg Config, seed int64, sc *Scratch, vals *[10]
 // worldSeeds pre-derives one seed per world from the master seed so
 // that neither the worker count nor the schedule can affect results.
 func worldSeeds(cfg Config) []int64 {
-	master := randx.New(cfg.Seed)
 	seeds := make([]int64, cfg.Worlds)
-	for i := range seeds {
-		seeds[i] = master.Int63()
-	}
+	randx.FillWorldSeeds(seeds, randx.New(cfg.Seed))
 	return seeds
 }
 

@@ -118,3 +118,21 @@ func (s *Sampler) Sample(rng *rand.Rand) *graph.Graph {
 
 // Graph returns the uncertain graph this sampler draws from.
 func (s *Sampler) Graph() *Graph { return s.g }
+
+// Clone returns a sampler that shares the receiver's immutable
+// sampling template but owns fresh per-world buffers, so it samples
+// exactly the same worlds from equal RNG states while being safe to
+// drive from another goroutine. Parallel engines build one template
+// (the O(Σ inc(v) log inc(v)) sort) and clone it per worker instead of
+// re-sorting per worker.
+func (s *Sampler) Clone() *Sampler {
+	return &Sampler{
+		g:       s.g,
+		toff:    s.toff,
+		tnbr:    s.tnbr,
+		tpair:   s.tpair,
+		present: make([]bool, len(s.present)),
+		offsets: make([]int64, len(s.offsets)),
+		nbr:     make([]int32, len(s.nbr)),
+	}
+}

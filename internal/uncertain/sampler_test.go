@@ -98,6 +98,40 @@ func TestSampleWorldIndependentOfSampler(t *testing.T) {
 	}
 }
 
+// TestSamplerCloneSamplesIdenticalWorlds pins the Clone contract: a
+// clone shares the immutable template, owns its own world buffers, and
+// draws exactly the same worlds from equal RNG states — the property
+// the batched query engine relies on when it builds one template and
+// clones it per worker.
+func TestSamplerCloneSamplesIdenticalWorlds(t *testing.T) {
+	g := samplerFixture(t, 50)
+	orig := g.NewSampler()
+	clone := orig.Clone()
+	if clone.Graph() != g {
+		t.Fatal("clone lost its graph")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		wo := orig.Sample(randx.New(seed))
+		wc := clone.Sample(randx.New(seed))
+		// Both worlds stay alive across each other's Sample calls:
+		// buffers are not shared.
+		if wo.NumEdges() != wc.NumEdges() {
+			t.Fatalf("seed %d: edge counts %d vs %d", seed, wo.NumEdges(), wc.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			no, nc := wo.Neighbors(v), wc.Neighbors(v)
+			if len(no) != len(nc) {
+				t.Fatalf("seed %d: vertex %d degree %d vs %d", seed, v, len(no), len(nc))
+			}
+			for i := range no {
+				if no[i] != nc[i] {
+					t.Fatalf("seed %d: vertex %d adjacency differs", seed, v)
+				}
+			}
+		}
+	}
+}
+
 // TestSamplerZeroAllocs pins the acceptance criterion: after the
 // sampler is constructed (the warm-up), the steady-state per-world
 // loop — reseed, sample — performs zero heap allocations.

@@ -9,13 +9,41 @@ import (
 // QueryEngine answers analytical queries over a published uncertain
 // graph by possible-world Monte Carlo with Hoeffding-bounded sample
 // sizes: two-terminal reliability, distance distributions, median
-// distances and majority-distance k-nearest-neighbours — the
-// consumption side of the paper's proposal.
+// distances and median-distance k-nearest-neighbours — the consumption
+// side of the paper's proposal. Every median follows the count rule
+// shared with k-NN ranking (cumulative world count >= ceil(r/2),
+// disconnection bucket last), so the two APIs cannot disagree about a
+// pair's median on the same worlds.
 type QueryEngine = query.Engine
 
 // NewQueryEngine returns an engine over g sampling the given number of
 // worlds (0 selects the Hoeffding default, 738 worlds for ±0.05 at 95%
-// confidence on probability estimates).
+// confidence on probability estimates). With a nil rng the engine
+// derives a reproducible, decorrelated world stream per query from its
+// Seed field; an explicit rng seeds each query by one Int63 draw.
 func NewQueryEngine(g *UncertainGraph, worlds int, rng *rand.Rand) *QueryEngine {
 	return &query.Engine{G: g, Worlds: worlds, Rng: rng}
+}
+
+// QueryBatch evaluates many queries against one shared set of sampled
+// worlds: each world is materialized once, one BFS runs per distinct
+// query source per world, and the steady-state world loop performs
+// zero heap allocations. This is the serving path behind cmd/queryd;
+// results are bit-identical for every Workers value.
+type QueryBatch = query.Batch
+
+// QueryConfig tunes a QueryBatch: Worlds (0 selects the Hoeffding
+// default), Seed, and Workers (<= 0 selects GOMAXPROCS).
+type QueryConfig = query.Config
+
+// QueryNeighbor is one ranked k-NN result: a vertex and its count-rule
+// median distance from the query source.
+type QueryNeighbor = query.Neighbor
+
+// NewQueryBatch returns an empty batch of queries over g. Register
+// queries with AddReliability/AddDistance/AddKNearest, call Run, then
+// read results by query id; Reset reuses every buffer for the next
+// request.
+func NewQueryBatch(g *UncertainGraph, cfg QueryConfig) *QueryBatch {
+	return query.NewBatch(g, cfg)
 }

@@ -7,6 +7,11 @@
 package uncertaingraph_test
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -15,6 +20,7 @@ import (
 	"uncertaingraph/internal/bfs"
 	"uncertaingraph/internal/core"
 	"uncertaingraph/internal/gen"
+	"uncertaingraph/internal/qserve"
 	"uncertaingraph/internal/randx"
 	"uncertaingraph/internal/sampling"
 )
@@ -75,6 +81,73 @@ func TestRaceSharedAdversaryScan(t *testing.T) {
 		if fracs[i] != fracs[0] {
 			t.Errorf("worker count %d changed the scan result: %v vs %v", i+1, fracs[i], fracs[0])
 		}
+	}
+}
+
+// TestRaceConcurrentQuerydRequests drives the query-serving engine the
+// way queryd does in production: many goroutines posting batch
+// requests (with per-request Workers fan-out) against one shared
+// uncertain graph and one shared batch pool. Identical requests must
+// return byte-identical responses — the content-derived seed contract
+// — and the race detector sees pooled batches handed across
+// goroutines.
+func TestRaceConcurrentQuerydRequests(t *testing.T) {
+	g := gen.HolmeKim(randx.New(24), 120, 3, 0.3)
+	var pairs []ug.Pair
+	g.ForEachEdge(func(u, v int) {
+		pairs = append(pairs, ug.Pair{U: u, V: v, P: float64((u+v)%9+1) / 10})
+	})
+	pub, err := ug.NewUncertainGraph(g.NumVertices(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &qserve.Server{G: pub, Worlds: 60, Workers: 4, Seed: 3}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients, rounds = 6, 4
+	bodies := make([][]string, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Half the clients send one shared request shape, the rest
+				// send per-client shapes, so the pool sees mixed traffic.
+				s := 0
+				if c%2 == 1 {
+					s = c
+				}
+				req := fmt.Sprintf(`{"queries":[{"op":"reliability","s":%d,"t":50},`+
+					`{"op":"distance","s":%d,"t":51},{"op":"knn","s":%d,"k":5}]}`, s, s, s)
+				resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(req))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %d err %v: %s", c, resp.StatusCode, err, body)
+					return
+				}
+				bodies[c] = append(bodies[c], string(body))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		for i := 1; i < len(bodies[c]); i++ {
+			if bodies[c][i] != bodies[c][0] {
+				t.Errorf("client %d: identical requests answered differently:\n%s\nvs\n%s",
+					c, bodies[c][i], bodies[c][0])
+			}
+		}
+	}
+	// Even-numbered clients all sent the same request; cross-check.
+	if bodies[0][0] != bodies[2][0] || bodies[0][0] != bodies[4][0] {
+		t.Error("shared request shape answered differently across clients")
 	}
 }
 

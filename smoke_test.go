@@ -6,12 +6,19 @@
 package uncertaingraph_test
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+
+	ug "uncertaingraph"
+	ugen "uncertaingraph/internal/gen"
+	"uncertaingraph/internal/randx"
 )
 
 var (
@@ -161,6 +168,102 @@ func TestSmokeTrailattack(t *testing.T) {
 		"-n", "150", "-releases", "2", "-k", "3", "-eps", "0.2",
 		"-t", "1", "-delta", "1e-3", "-targets", "20", "-workers", "2")
 	wantLines(t, out, "degree-trail attack", "certain releases:", "uncertain releases:")
+}
+
+// TestSmokeQueryd boots the query-serving daemon on an ephemeral port,
+// reads the advertised address from its stdout, and exercises the
+// health, single-query and batch endpoints over real HTTP, including
+// the identical-request determinism contract.
+func TestSmokeQueryd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the toolchain")
+	}
+	dir := buildSmokeBinaries(t)
+
+	// Publish a small uncertain graph for the daemon to load.
+	g := ugen.HolmeKim(randx.New(9), 120, 3, 0.3)
+	var pairs []ug.Pair
+	g.ForEachEdge(func(u, v int) {
+		pairs = append(pairs, ug.Pair{U: u, V: v, P: float64((u+v)%9+1) / 10})
+	})
+	pub, err := ug.NewUncertainGraph(g.NumVertices(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ugPath := filepath.Join(t.TempDir(), "published.ug")
+	f, err := os.Create(ugPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ug.WriteUncertainGraph(f, pub); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cmd := exec.Command(filepath.Join(dir, "queryd"),
+		"-graph", ugPath, "-addr", "127.0.0.1:0", "-worlds", "200", "-seed", "7")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("queryd printed no address line: %v", sc.Err())
+	}
+	line := sc.Text()
+	wantLines(t, line, "queryd: serving 120 vertices")
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("no address in queryd output %q", line)
+	}
+	base := line[i:]
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	wantLines(t, get("/healthz"), `"vertices":120`, `"default_worlds":200`)
+	wantLines(t, get("/reliability?s=0&t=50"), `"reliability":`, `"worlds":200`)
+	wantLines(t, get("/knn?s=0&k=3"), `"neighbors":`, `"median":`)
+
+	post := func() string {
+		resp, err := http.Post(base+"/batch", "application/json", strings.NewReader(
+			`{"queries":[{"op":"distance","s":0,"t":60},{"op":"reliability","s":0,"t":60}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /batch: status %d err %v: %s", resp.StatusCode, err, body)
+		}
+		return string(body)
+	}
+	first := post()
+	wantLines(t, first, `"median":`, `"disconnected":`)
+	if second := post(); second != first {
+		t.Errorf("identical batch requests answered differently:\n%s\nvs\n%s", first, second)
+	}
 }
 
 func TestSmokeExperiments(t *testing.T) {
