@@ -6,7 +6,7 @@ GO ?= go
 # Label stamped onto bench-sampling runs in BENCH_sampling.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: build test race vet fmt-check lint bench bench-sampling bench-query ci
+.PHONY: build test race vet fmt-check seed-check lint bench bench-sampling bench-query bench-obfuscate ci
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,19 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt required for:"; echo "$$out"; exit 1; fi
 
-lint: vet fmt-check
+# Seeding discipline behind the one determinism contract: every RNG
+# stream must derive from internal/randx (randx.New / randx.Derive).
+# An ad-hoc rand.New(rand.NewSource(...)) anywhere else forks the
+# contract — results would stop being a pure function of the seed — so
+# it fails CI. Tests are exempt (they may pin arbitrary streams).
+seed-check:
+	@out="$$(grep -rn 'rand\.New(rand\.NewSource' --include='*.go' . \
+		| grep -v 'internal/randx/' | grep -v '_test\.go')"; \
+	if [ -n "$$out" ]; then \
+		echo "ad-hoc RNG seeding outside internal/randx (use randx.New / randx.Derive):"; \
+		echo "$$out"; exit 1; fi
+
+lint: vet fmt-check seed-check
 
 # The headline comparison: sequential vs parallel full Algorithm 1 runs
 # on the ~5k-vertex stand-in (plus the rest of the benchmark suite via
@@ -64,6 +76,20 @@ bench-query:
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
 	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_query.json < "$$tmp"; \
+	status=$$?; rm -f "$$tmp"; exit $$status
+
+# Full-Algorithm-1 obfuscation benchmarks (sequential vs parallel runs
+# of the context-first engine on the ~5k-vertex stand-in), appended as
+# a JSON record to BENCH_obfuscate.json so the search's perf trajectory
+# stays visible across PRs, like bench-sampling/bench-query.
+bench-obfuscate:
+	@tmp="$$(mktemp)"; \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkObfuscate(Sequential|Parallel)$$' \
+		-benchmem -benchtime 3x . > "$$tmp" 2>&1; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
+	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_obfuscate.json < "$$tmp"; \
 	status=$$?; rm -f "$$tmp"; exit $$status
 
 ci: build lint test race

@@ -2,6 +2,7 @@ package uncertaingraph_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -18,9 +19,9 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("generator failed")
 	}
 
-	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
-		K: 5, Eps: 0.1, Trials: 2, Delta: 1e-3, Rng: ug.NewRand(2),
-	})
+	res, err := ug.Obfuscate(context.Background(), g,
+		ug.WithK(5), ug.WithEps(0.1), ug.WithSeed(2),
+		ug.WithObfuscation(ug.ObfuscationParams{Trials: 2, Delta: 1e-3}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,10 +33,15 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("level count")
 	}
 
-	rep := ug.EstimateStatistics(res.G, ug.EstimateConfig{
-		Worlds: 10, Seed: 3, Distances: ug.DistanceExactBFS,
-	})
-	real := ug.Statistics(g, ug.EstimateConfig{Distances: ug.DistanceExactBFS})
+	rep, err := ug.EstimateStatistics(context.Background(), res.G,
+		ug.WithWorlds(10), ug.WithSeed(3), ug.WithDistances(ug.DistanceExactBFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := ug.Statistics(context.Background(), g, ug.WithDistances(ug.DistanceExactBFS))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.RelErr("S_NE", real["S_NE"]) > 0.5 {
 		t.Errorf("S_NE error %v implausibly large", rep.RelErr("S_NE", real["S_NE"]))
 	}
@@ -157,11 +163,16 @@ func TestQueryBatchFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := ug.NewQueryBatch(g, ug.QueryConfig{Worlds: 200, Seed: 3, Workers: 2})
+	b, err := ug.NewQueryBatch(g, ug.WithWorlds(200), ug.WithSeed(3), ug.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	rel := b.AddReliability(0, 2)
 	dist := b.AddDistance(0, 2)
 	knn := b.AddKNearest(0, 2)
-	b.Run()
+	if err := b.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	if got := b.Reliability(rel); got != 1 {
 		t.Errorf("Pr(0~2) = %v, want 1 (certain path)", got)
 	}

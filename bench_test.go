@@ -10,6 +10,7 @@
 package uncertaingraph_test
 
 import (
+	"context"
 	"testing"
 
 	ug "uncertaingraph"
@@ -63,7 +64,7 @@ func BenchmarkTable3Throughput(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Obfuscate(d.Graph, core.Params{
+		res, err := core.Obfuscate(context.Background(), d.Graph, core.Params{
 			K: 10, Eps: 0.08, Trials: 2, Delta: 1e-4, Rng: ug.NewRand(int64(i)),
 		})
 		if err != nil {

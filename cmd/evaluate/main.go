@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"text/tabwriter"
 
 	ug "uncertaingraph"
@@ -31,9 +34,20 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := ug.EstimateConfig{Worlds: *worlds, Seed: *seed, Workers: *workers}
+	// SIGINT/SIGTERM cancels the sampling run between worlds.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The seed and world count ride in the config struct rather than
+	// WithSeed/WithWorlds so both flags keep their exact v1 meaning:
+	// the int64 seed is not remapped through uint64, and -worlds 0
+	// still selects the sampling default instead of being rejected.
+	opts := []ug.Option{
+		ug.WithWorkers(*workers),
+		ug.WithEstimate(ug.EstimateConfig{Seed: *seed, Worlds: *worlds}),
+	}
 	if *exact {
-		cfg.Distances = ug.DistanceExactBFS
+		opts = append(opts, ug.WithDistances(ug.DistanceExactBFS))
 	}
 
 	var refStats map[string]float64
@@ -47,7 +61,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		refStats = ug.Statistics(rg, cfg)
+		if refStats, err = ug.Statistics(ctx, rg, opts...); err != nil {
+			fatal(err)
+		}
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -64,7 +80,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "sampling %d worlds of %d vertices / %d pairs\n",
 			*worlds, g.NumVertices(), g.NumPairs())
-		rep := ug.EstimateStatistics(g, cfg)
+		rep, err := ug.EstimateStatistics(ctx, g, opts...)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Fprintln(w, "statistic\tmean\trel.SEM\trel.err")
 		for _, name := range ug.StatNames {
 			fmt.Fprintf(w, "%s\t%.6g\t%.4f", name, rep.Mean(name), rep.RelSEM(name))
@@ -87,7 +106,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		vals := ug.Statistics(g, cfg)
+		vals, err := ug.Statistics(ctx, g, opts...)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Fprintln(w, "statistic\tvalue\trel.err")
 		for _, name := range ug.StatNames {
 			fmt.Fprintf(w, "%s\t%.6g", name, vals[name])

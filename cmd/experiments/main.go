@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"uncertaingraph/internal/datasets"
@@ -51,6 +54,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// SIGINT/SIGTERM cancels the in-flight driver: obfuscation searches
+	// abort between σ probes, world sampling between worlds.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s.Ctx = ctx
 
 	want := func(id string) bool { return *exp == "all" || *exp == id }
 	start := time.Now()

@@ -7,9 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	ug "uncertaingraph"
@@ -17,16 +20,17 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input edge list (default stdin)")
-		out     = flag.String("out", "", "output uncertain graph (default stdout)")
-		k       = flag.Float64("k", 20, "obfuscation level k")
-		eps     = flag.Float64("eps", 0.01, "tolerated fraction of non-obfuscated vertices")
-		c       = flag.Float64("c", 2, "candidate-set multiplier |E_C| = c|E|")
-		q       = flag.Float64("q", 0.01, "white-noise fraction")
-		trials  = flag.Int("t", 5, "attempts per noise level")
-		delta   = flag.Float64("delta", 1e-8, "binary search resolution on sigma")
-		seed    = flag.Int64("seed", 1, "random seed (0 behaves as 1)")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all CPUs); results are identical for every value")
+		in       = flag.String("in", "", "input edge list (default stdin)")
+		out      = flag.String("out", "", "output uncertain graph (default stdout)")
+		k        = flag.Float64("k", 20, "obfuscation level k")
+		eps      = flag.Float64("eps", 0.01, "tolerated fraction of non-obfuscated vertices")
+		c        = flag.Float64("c", 2, "candidate-set multiplier |E_C| = c|E|")
+		q        = flag.Float64("q", 0.01, "white-noise fraction")
+		trials   = flag.Int("t", 5, "attempts per noise level")
+		delta    = flag.Float64("delta", 1e-8, "binary search resolution on sigma")
+		seed     = flag.Int64("seed", 1, "random seed (0 behaves as 1)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs); results are identical for every value")
+		progress = flag.Bool("progress", false, "report σ-probe progress on stderr")
 	)
 	flag.Parse()
 
@@ -45,12 +49,32 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loaded: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
+	// SIGINT/SIGTERM cancels the search between σ probes and scan chunks.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The seed rides in the params struct rather than WithSeed so the
+	// int64 flag keeps its exact v1 meaning (including negative values,
+	// which the uint64 option would remap).
+	opts := []ug.Option{
+		ug.WithK(*k), ug.WithEps(*eps),
+		ug.WithObfuscation(ug.ObfuscationParams{
+			C: *c, Q: *q, Trials: *trials, Delta: *delta, Seed: *seed,
+		}),
+		ug.WithWorkers(*workers),
+	}
+	if *progress {
+		opts = append(opts, ug.WithProgress(func(p ug.Progress) {
+			if p.Total > 0 {
+				fmt.Fprintf(os.Stderr, "probe %d/~%d\n", p.Done, p.Total)
+			} else {
+				fmt.Fprintf(os.Stderr, "probe %d (bounding sigma)\n", p.Done)
+			}
+		}))
+	}
+
 	start := time.Now()
-	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
-		K: *k, Eps: *eps, C: *c, Q: *q,
-		Trials: *trials, Delta: *delta,
-		Workers: *workers, Seed: *seed,
-	})
+	res, err := ug.Obfuscate(ctx, g, opts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -19,15 +19,24 @@
 // Unless a request pins a seed, its world stream is derived from the
 // server seed and the request content, so identical requests return
 // identical answers.
+//
+// The daemon shuts down gracefully: SIGINT or SIGTERM stops accepting
+// new connections, lets in-flight requests drain for -drain (default
+// 10s), then force-closes whatever remains — a dropped connection's
+// request context cancels its batch run mid-flight — and exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	ug "uncertaingraph"
@@ -42,6 +51,7 @@ func main() {
 		maxWorlds = flag.Int("max-worlds", qserve.DefaultMaxWorlds, "per-request worlds cap")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent world evaluations per request (answers are identical for every value)")
 		seed      = flag.Int64("seed", 1, "base seed for content-derived request streams")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *gin == "" {
@@ -81,8 +91,35 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := httpServer.Serve(ln); err != nil {
-		fatal(err)
+
+	// Graceful shutdown: SIGINT/SIGTERM stops the accept loop, in-flight
+	// requests get *drain to finish, then the remaining connections are
+	// force-closed (cancelling their request contexts, which aborts
+	// their batch runs between worlds). Either way the daemon exits 0 —
+	// a supervisor's stop is not an error.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-sigCtx.Done():
+		stop() // restore default signal handling: a second signal kills
+		fmt.Printf("queryd: shutting down (draining up to %s)\n", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := httpServer.Shutdown(shutCtx)
+		cancel()
+		if err != nil {
+			// Drain deadline hit: force-close stragglers; their request
+			// contexts cancel and the pooled batches stop mid-flight.
+			httpServer.Close()
+		}
+		<-serveErr // Serve has returned ErrServerClosed by now
+		fmt.Println("queryd: shutdown complete")
 	}
 }
 

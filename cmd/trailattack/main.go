@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 
 	ug "uncertaingraph"
 )
@@ -62,13 +65,22 @@ func main() {
 	fmt.Printf("\ncertain releases: %d/%d vertices fully re-identified, median crowd %d\n",
 		countOnes(crowds), len(crowds), medianInt(crowds))
 
+	// SIGINT/SIGTERM cancels the in-flight obfuscation search.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	published := make([]*ug.UncertainGraph, len(snaps))
 	for t, s := range snaps {
-		res, err := ug.Obfuscate(s, ug.ObfuscationParams{
-			K: *k, Eps: *eps, Trials: *trials, Delta: *delta,
-			Workers: *workers,
-			Seed:    *seed + 10 + int64(t),
-		})
+		// Per-release seeds ride in the params struct rather than
+		// WithSeed so the int64 flag keeps its exact v1 meaning
+		// (including negative values, which the uint64 option would
+		// remap).
+		res, err := ug.Obfuscate(ctx, s,
+			ug.WithK(*k), ug.WithEps(*eps),
+			ug.WithObfuscation(ug.ObfuscationParams{
+				Trials: *trials, Delta: *delta, Seed: *seed + 10 + int64(t),
+			}),
+			ug.WithWorkers(*workers))
 		if err != nil {
 			fatal(fmt.Errorf("release %d: %w", t, err))
 		}

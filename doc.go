@@ -17,7 +17,48 @@
 //     the paper compares against;
 //   - graph statistics (Statistics, EstimateStatistics) including
 //     HyperANF-based distance distributions, for measuring the utility
-//     of published graphs.
+//     of published graphs;
+//   - query serving over published graphs (QueryBatch, the engine
+//     behind cmd/queryd): reliability, distance distributions and
+//     median-distance k-NN against one shared world sample.
+//
+// # API v2: context-first entry points
+//
+// Every long-running operation takes a context.Context first and is
+// configured by functional options:
+//
+//	res, err := uncertaingraph.Obfuscate(ctx, g,
+//	    uncertaingraph.WithK(20), uncertaingraph.WithEps(1e-3),
+//	    uncertaingraph.WithSeed(1))
+//	rep, err := uncertaingraph.EstimateStatistics(ctx, res.G,
+//	    uncertaingraph.WithWorlds(100), uncertaingraph.WithSeed(7))
+//	b, err := uncertaingraph.NewQueryBatch(res.G,
+//	    uncertaingraph.WithWorlds(1000))
+//	id := b.AddReliability(0, 5)
+//	err = b.Run(ctx)
+//
+// Cancelling the context aborts the operation promptly — between σ
+// probes and scan chunks in Obfuscate, between sampled worlds in
+// EstimateStatistics and QueryBatch.Run — joins every worker goroutine
+// (nothing leaks), and returns ctx.Err(). cmd/queryd wires each HTTP
+// request's context into its batch run, so a dropped connection stops
+// its BFS work mid-flight.
+//
+// One determinism contract covers all entry points: WithSeed fixes the
+// base seed, every internal RNG stream is derived from it per (σ,
+// trial) pair or per world (internal/randx.Derive), and WithWorkers
+// only trades wall-clock time — results are bit-identical for every
+// worker count, every schedule, and every cancellation that does not
+// abort the run. Invalid option values (negative workers, non-positive
+// worlds, k < 1) are rejected with errors wrapping ErrBadConfig rather
+// than silently clamped.
+//
+// The primary names carry the v2 signatures; each v1 behaviour stays
+// reachable for one release through a thin deprecated wrapper
+// (ObfuscateWithParams, StatisticsWithConfig,
+// EstimateStatisticsWithConfig, NewQueryBatchWithConfig, NewQueryEngine,
+// NewRand, QueryBatch.MustRun); see the README's "API v2" migration
+// table.
 //
 // The top-level API is a thin facade over the internal packages; see
 // DESIGN.md for the system inventory and EXPERIMENTS.md for the

@@ -1,6 +1,7 @@
 package uncertaingraph_test
 
 import (
+	"context"
 	"fmt"
 
 	ug "uncertaingraph"
@@ -12,9 +13,9 @@ func ExampleObfuscate() {
 	g := ug.GraphFromEdges(4, []ug.Edge{
 		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 2, V: 3},
 	})
-	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
-		K: 2, Eps: 0.25, Trials: 3, Delta: 1e-3, Rng: ug.NewRand(7),
-	})
+	res, err := ug.Obfuscate(context.Background(), g,
+		ug.WithK(2), ug.WithEps(0.25), ug.WithSeed(7),
+		ug.WithObfuscation(ug.ObfuscationParams{Trials: 3, Delta: 1e-3}))
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -29,8 +30,14 @@ func main() {
 	eps := 0.08
 	fmt.Printf("dblp stand-in: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	cfg := ug.EstimateConfig{Worlds: 30, Seed: 7, Distances: ug.DistanceExactBFS}
-	real := ug.Statistics(g, cfg)
+	ctx := context.Background()
+	estOpts := []ug.Option{
+		ug.WithWorlds(30), ug.WithSeed(7), ug.WithDistances(ug.DistanceExactBFS),
+	}
+	real, err := ug.Statistics(ctx, g, estOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Sparsify at the paper's p=0.64 and measure the anonymity it buys
 	// under the entropy measure (Figure 4's matching rule).
@@ -40,7 +47,10 @@ func main() {
 	fmt.Printf("\nsparsification p=0.64 matches k=%.1f at eps=%g\n", matchedK, eps)
 
 	// Its utility: statistics of the (certain) published graph.
-	spStats := ug.Statistics(published, cfg)
+	spStats, err := ug.Statistics(ctx, published, estOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sparsified   avg rel.err = %.3f\n", avgErr(spStats, real))
 
 	// Our method at the same (k, eps). On this tiny stand-in the
@@ -55,13 +65,16 @@ func main() {
 		fmt.Printf("capping our k at 20 (tiny-scale crowds; baseline keeps credit for k=%.1f)\n", k)
 		k = 20
 	}
-	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
-		K: k, Eps: eps, Trials: 3, Delta: 1e-5, Rng: ug.NewRand(9),
-	})
+	res, err := ug.Obfuscate(ctx, g,
+		ug.WithK(k), ug.WithEps(eps), ug.WithSeed(9),
+		ug.WithObfuscation(ug.ObfuscationParams{Trials: 3, Delta: 1e-5}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := ug.EstimateStatistics(res.G, cfg)
+	rep, err := ug.EstimateStatistics(ctx, res.G, estOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	means := map[string]float64{}
 	for _, name := range ug.StatNames {
 		means[name] = rep.Mean(name)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,11 +15,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The publisher's side: obfuscate and release.
 	g := ug.SocialGraph(ug.NewRand(1), 250, 320, []float64{0, 0, 0.6, 0.3, 0.1}, 0.4)
-	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
-		K: 5, Eps: 0.1, Trials: 2, Delta: 1e-3, Rng: ug.NewRand(2),
-	})
+	res, err := ug.Obfuscate(ctx, g,
+		ug.WithK(5), ug.WithEps(0.1), ug.WithSeed(2),
+		ug.WithObfuscation(ug.ObfuscationParams{Trials: 2, Delta: 1e-3}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,12 +51,19 @@ func main() {
 	// The serving shape: a batch samples its worlds once and evaluates
 	// every query against them — one BFS per distinct source per world,
 	// shared by all queries with that source, zero allocations in the
-	// steady-state loop. This is what cmd/queryd runs per request.
-	batch := ug.NewQueryBatch(published, ug.QueryConfig{Worlds: 1000, Seed: 4})
+	// steady-state loop. This is what cmd/queryd runs per request; the
+	// daemon passes each request's context to Run, so a dropped client
+	// stops the work mid-flight.
+	batch, err := ug.NewQueryBatch(published, ug.WithWorlds(1000), ug.WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
+	}
 	relID := batch.AddReliability(s, t)
 	distID := batch.AddDistance(s, t)
 	knnID := batch.AddKNearest(s, 5)
-	batch.Run()
+	if err := batch.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nbatched (one world set for all three queries):\n")
 	fmt.Printf("  reliability %.3f, median %d\n",
 		batch.Reliability(relID), batch.MedianDistance(distID))

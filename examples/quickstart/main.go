@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,10 @@ import (
 )
 
 func main() {
+	// Real services pass a request- or signal-scoped context; cancelling
+	// it aborts any entry point below mid-flight.
+	ctx := context.Background()
+
 	// A small collaboration network: 300 people, ~400 events of 2-4
 	// participants, with repeat collaboration.
 	rng := ug.NewRand(1)
@@ -20,12 +25,11 @@ func main() {
 		g.NumVertices(), g.NumEdges(), g.AverageDegree())
 
 	// Publish a (5, 0.1)-obfuscation: every vertex except at most 10%
-	// hides in an entropy-measured crowd of 5.
-	res, err := ug.Obfuscate(g, ug.ObfuscationParams{
-		K:   5,
-		Eps: 0.1,
-		Rng: ug.NewRand(2),
-	})
+	// hides in an entropy-measured crowd of 5. One seed drives every
+	// derived RNG stream, so the result is bit-identical for any worker
+	// count.
+	res, err := ug.Obfuscate(ctx, g,
+		ug.WithK(5), ug.WithEps(0.1), ug.WithSeed(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,12 +45,15 @@ func main() {
 		res.G.ExpectedNumEdges(), g.NumEdges())
 
 	// ... everything else is estimated by sampling possible worlds.
-	rep := ug.EstimateStatistics(res.G, ug.EstimateConfig{
-		Worlds:    50,
-		Seed:      3,
-		Distances: ug.DistanceExactBFS,
-	})
-	real := ug.Statistics(g, ug.EstimateConfig{Distances: ug.DistanceExactBFS})
+	rep, err := ug.EstimateStatistics(ctx, res.G,
+		ug.WithWorlds(50), ug.WithSeed(3), ug.WithDistances(ug.DistanceExactBFS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	real, err := ug.Statistics(ctx, g, ug.WithDistances(ug.DistanceExactBFS))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nstatistic      original   published  rel.err")
 	for _, name := range ug.StatNames {
 		fmt.Printf("%-12s %10.4g %10.4g  %6.3f\n",

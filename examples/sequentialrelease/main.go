@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -33,11 +34,12 @@ func main() {
 		countOnes(crowd1), countOnes(crowd3))
 
 	// Attack 2: each release is published as an uncertain graph.
+	ctx := context.Background()
 	published := make([]*ug.UncertainGraph, len(snapshots))
 	for t, s := range snapshots {
-		res, err := ug.Obfuscate(s, ug.ObfuscationParams{
-			K: 5, Eps: 0.1, Trials: 2, Delta: 1e-3, Rng: ug.NewRand(int64(10 + t)),
-		})
+		res, err := ug.Obfuscate(ctx, s,
+			ug.WithK(5), ug.WithEps(0.1), ug.WithSeed(uint64(10+t)),
+			ug.WithObfuscation(ug.ObfuscationParams{Trials: 2, Delta: 1e-3}))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,20 +28,29 @@ func main() {
 	fmt.Printf("dblp stand-in (%s scale): %d vertices, %d edges, avg degree %.2f\n",
 		d.Scale, g.NumVertices(), g.NumEdges(), g.AverageDegree())
 
-	cfg := ug.EstimateConfig{Worlds: 30, Seed: 5, Distances: ug.DistanceExactBFS}
-	real := ug.Statistics(g, cfg)
+	ctx := context.Background()
+	estOpts := []ug.Option{
+		ug.WithWorlds(30), ug.WithSeed(5), ug.WithDistances(ug.DistanceExactBFS),
+	}
+	real, err := ug.Statistics(ctx, g, estOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("\n         ", header())
 	fmt.Println("real     ", row(real))
 
 	for _, k := range []float64{5, 10, 20} {
-		res, err := ug.Obfuscate(g, ug.ObfuscationParams{
-			K: k, Eps: 0.08, Trials: 3, Delta: 1e-5, Rng: ug.NewRand(int64(10 * k)),
-		})
+		res, err := ug.Obfuscate(ctx, g,
+			ug.WithK(k), ug.WithEps(0.08), ug.WithSeed(uint64(10*k)),
+			ug.WithObfuscation(ug.ObfuscationParams{Trials: 3, Delta: 1e-5}))
 		if err != nil {
 			log.Fatalf("k=%g: %v", k, err)
 		}
-		rep := ug.EstimateStatistics(res.G, cfg)
+		rep, err := ug.EstimateStatistics(ctx, res.G, estOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 		means := map[string]float64{}
 		var avgErr float64
 		var cnt int

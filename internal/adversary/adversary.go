@@ -19,6 +19,7 @@
 package adversary
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -55,24 +56,21 @@ type UncertainModel struct {
 	// Workers bounds the parallelism of the entropy scan (<= 0 selects
 	// GOMAXPROCS). The scan's result is bit-identical for every value.
 	Workers int
-	// Quit, when non-nil and closed, abandons the scan at the next chunk
-	// boundary; the result is then unspecified and the caller must
-	// discard it. The obfuscation engine uses this to reap speculative
-	// σ probes instead of letting their scans run to completion.
-	Quit <-chan struct{}
+	// Ctx, when non-nil and cancelled, abandons the scan at the next
+	// chunk boundary; the result is then unspecified and the caller must
+	// discard it. The obfuscation engine hands each speculative σ probe
+	// a derived context and cancels it to reap the probe instead of
+	// letting its scan run to completion; request-scoped callers pass
+	// their request context so a dropped client stops the scan.
+	Ctx context.Context
 }
 
 // ParallelWorkers implements WorkerHinted.
 func (m UncertainModel) ParallelWorkers() int { return m.Workers }
 
-// Aborted implements Abortable.
+// Aborted implements Abortable on top of the model's context.
 func (m UncertainModel) Aborted() bool {
-	select {
-	case <-m.Quit:
-		return true
-	default:
-		return false
-	}
+	return m.Ctx != nil && m.Ctx.Err() != nil
 }
 
 // WorkerHinted is an optional Model extension: models that carry an

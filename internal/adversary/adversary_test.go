@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -180,4 +181,26 @@ func TestParallelDeterminism(t *testing.T) {
 			t.Fatal("parallel column entropies are not deterministic")
 		}
 	}
+}
+
+// TestUncertainModelAbortsOnContext pins the Abortable-on-ctx.Done()
+// reimplementation: a model with a cancelled context reports Aborted
+// and the entropy scan stops at the next chunk boundary.
+func TestUncertainModelAbortsOnContext(t *testing.T) {
+	g := figure1b(t)
+	if (UncertainModel{G: g}).Aborted() {
+		t.Error("nil-context model reports Aborted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := UncertainModel{G: g, Ctx: ctx}
+	if m.Aborted() {
+		t.Error("live-context model reports Aborted")
+	}
+	cancel()
+	if !m.Aborted() {
+		t.Error("cancelled-context model does not report Aborted")
+	}
+	// The scan completes (discardable result, no hang, no leak) even
+	// when aborted before it starts.
+	_ = ColumnEntropies(m, []int{1, 2})
 }

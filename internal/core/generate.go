@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -39,16 +40,17 @@ func (a Attempt) Failed() bool { return math.IsInf(a.EpsTilde, 1) }
 func GenerateObfuscation(g *graph.Graph, sigma float64, params Params) Attempt {
 	params = params.withDefaults()
 	params.Seed = params.resolveSeed()
-	att, _ := generateObfuscation(g, sigma, params, nil)
+	att, _ := generateObfuscation(nil, g, sigma, params)
 	return att
 }
 
 // generateObfuscation runs Algorithm 2 with a pre-resolved params.Seed.
-// quit, when non-nil, abandons the whole probe (used by Obfuscate to
-// discard speculative σ candidates); the second return value reports how
-// many trials the probe examines — always t, since best-of-t selection
-// must look at every trial — the work measure behind Result.Trials.
-func generateObfuscation(g *graph.Graph, sigma float64, params Params, quit <-chan struct{}) (Attempt, int) {
+// Cancelling ctx abandons the whole probe (used by Obfuscate to discard
+// speculative σ candidates and to propagate caller cancellation); a nil
+// ctx never cancels. The second return value reports how many trials
+// the probe examines — always t, since best-of-t selection must look at
+// every trial — the work measure behind Result.Trials.
+func generateObfuscation(ctx context.Context, g *graph.Graph, sigma float64, params Params) (Attempt, int) {
 	n := g.NumVertices()
 	values := params.Property.Values(g)
 	dist := params.Property.Distance
@@ -103,7 +105,7 @@ func generateObfuscation(g *graph.Graph, sigma float64, params Params, quit <-ch
 	// of scheduling. It bails out between stages — and per scan chunk —
 	// when the probe was cancelled.
 	runTrial := func(trial int) Attempt {
-		if cancelled(quit) {
+		if cancelled(ctx) {
 			return failed
 		}
 		rng := trialRng(params.Seed, sigma, trial)
@@ -118,7 +120,7 @@ func generateObfuscation(g *graph.Graph, sigma float64, params Params, quit <-ch
 			// is a programming error worth surfacing loudly.
 			panic(err)
 		}
-		if cancelled(quit) {
+		if cancelled(ctx) {
 			return failed
 		}
 		// Line 20: fraction of vertices not k-obfuscated.
@@ -126,10 +128,10 @@ func generateObfuscation(g *graph.Graph, sigma float64, params Params, quit <-ch
 			G:              ug,
 			ExactThreshold: params.ExactThreshold,
 			Workers:        scanWorkers,
-			Quit:           quit,
+			Ctx:            ctx,
 		}
 		epsPrime := adversary.NotObfuscatedFraction(model, degrees, params.K)
-		if cancelled(quit) {
+		if cancelled(ctx) {
 			// The scan aborted early; its ε' is not the pure probe value.
 			return failed
 		}
@@ -147,7 +149,7 @@ func generateObfuscation(g *graph.Graph, sigma float64, params Params, quit <-ch
 	// than collecting all t attempts, lets loser graphs (each ~c·|E|
 	// pairs) be reclaimed while later trials still run.
 	win := winner{att: failed, idx: params.Trials}
-	parallel.For(params.Trials, trialWorkers, nil, func(i int) {
+	_ = parallel.ForCtx(ctx, params.Trials, trialWorkers, func(i int) {
 		win.offer(runTrial(i), i)
 	})
 	return win.att, params.Trials
@@ -173,17 +175,10 @@ func (w *winner) offer(att Attempt, trial int) {
 	w.mu.Unlock()
 }
 
-// cancelled reports whether the probe's quit channel has been closed.
-func cancelled(quit <-chan struct{}) bool {
-	if quit == nil {
-		return false
-	}
-	select {
-	case <-quit:
-		return true
-	default:
-		return false
-	}
+// cancelled reports whether the probe's context has been cancelled; a
+// nil context never is.
+func cancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // candidate is one pair of E_C, flagged by whether it is an original edge.

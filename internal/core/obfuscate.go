@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -50,7 +51,16 @@ const doublingLookahead = 2
 // midpoint — and cancels speculative probes the sequential search would
 // never visit. The returned Result (σ, ε̃, published pairs, and both
 // work counters) is bit-identical for every Workers value.
-func Obfuscate(g *graph.Graph, params Params) (*Result, error) {
+//
+// Cancelling ctx aborts the search: in-flight probes observe the
+// derived per-probe contexts at trial and scan-chunk granularity, every
+// probe goroutine is joined, and ctx.Err() is returned. A nil ctx never
+// cancels. Cancellation cannot perturb results — a run that completes
+// returns exactly what an uncancelled run would have.
+func Obfuscate(ctx context.Context, g *graph.Graph, params Params) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	params = params.withDefaults()
 	if params.K < 1 {
 		return nil, fmt.Errorf("core: k = %v must be >= 1", params.K)
@@ -64,28 +74,47 @@ func Obfuscate(g *graph.Graph, params Params) (*Result, error) {
 	params.Seed = params.resolveSeed()
 	params.Rng = nil
 
-	pr := newProber(g, params)
+	pr := newProber(ctx, g, params)
 	speculate := params.workerCount() > 1
 
 	res := &Result{EpsTilde: math.Inf(1)}
-	consume := func(sigma float64) Attempt {
-		att, examined := pr.get(sigma)
+	fail := func(err error) (*Result, error) {
+		pr.shutdown()
+		return nil, err
+	}
+	consume := func(sigma float64, total int) (Attempt, error) {
+		att, examined, err := pr.get(sigma)
+		if err != nil {
+			return Attempt{}, err
+		}
 		res.Generations++
 		res.Trials += examined
-		return att
+		if params.Progress != nil {
+			params.Progress(res.Generations, total)
+		}
+		return att, nil
 	}
 
-	// Doubling phase (lines 1-6): find a feasible upper bound σ_u.
+	// Doubling phase (lines 1-6): find a feasible upper bound σ_u. The
+	// probe total is unknown until this phase bounds the search, so
+	// Progress reports total 0 here.
 	sigmaU := params.SigmaInit
 	var found Attempt
 	for {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 		pr.ensure(sigmaU)
 		if speculate {
 			for i, s := 0, sigmaU*2; i < doublingLookahead && s <= params.MaxSigma; i, s = i+1, s*2 {
 				pr.ensure(s)
 			}
 		}
-		found = consume(sigmaU)
+		var err error
+		found, err = consume(sigmaU, 0)
+		if err != nil {
+			return fail(err)
+		}
 		if !found.Failed() {
 			// The binary search stays below σ_u: speculative probes at
 			// larger σ are dead.
@@ -103,6 +132,9 @@ func Obfuscate(g *graph.Graph, params Params) (*Result, error) {
 	// Binary search (lines 8-12) on [0, σ_u], keeping the last success.
 	sigmaL := 0.0
 	for sigmaL+params.Delta < sigmaU {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 		sigma := (sigmaL + sigmaU) / 2
 		pr.ensure(sigma)
 		// Speculate on the two quartiles: whichever way this midpoint
@@ -117,7 +149,10 @@ func Obfuscate(g *graph.Graph, params Params) (*Result, error) {
 				pr.ensure(highQ)
 			}
 		}
-		attempt := consume(sigma)
+		attempt, err := consume(sigma, res.Generations+binarySteps(sigmaU-sigmaL, params.Delta))
+		if err != nil {
+			return fail(err)
+		}
 		if attempt.Failed() {
 			sigmaL = sigma
 			pr.cancel(lowQ) // the search moved above σ; [σ_l, σ) is dead
@@ -131,27 +166,41 @@ func Obfuscate(g *graph.Graph, params Params) (*Result, error) {
 	return res, nil
 }
 
-// probeTask is one in-flight or finished evaluation of a σ probe.
+// binarySteps returns how many more midpoint probes the binary search
+// consumes before an interval of the given width shrinks below delta —
+// the remaining-work estimate behind Params.Progress totals.
+func binarySteps(width, delta float64) int {
+	steps := 0
+	for width > delta && steps < 64 {
+		width /= 2
+		steps++
+	}
+	return steps
+}
+
+// probeTask is one in-flight or finished evaluation of a σ probe. Each
+// task owns a context derived from the search's: cancelling it reaps
+// the probe (speculation gone dead, or the whole search cancelled) at
+// trial and scan-chunk granularity.
 type probeTask struct {
 	sigma    float64
 	done     chan struct{}
-	quit     chan struct{}
-	quitOnce sync.Once
+	ctx      context.Context
+	cancel   context.CancelFunc
 	att      Attempt
 	examined int
-	// aborted records that the task observed its quit signal and bailed
-	// out early; its att is not the pure probe value and must never be
-	// consumed.
+	// aborted records that the task observed its context cancelled and
+	// bailed out early; its att is not the pure probe value and must
+	// never be consumed.
 	aborted bool
 }
-
-func (t *probeTask) cancel() { t.quitOnce.Do(func() { close(t.quit) }) }
 
 // prober evaluates σ probes asynchronously and memoizes them by σ value.
 // Because probes are pure, a memoized result is exactly what re-running
 // the probe would produce, so speculative evaluation cannot perturb the
 // search path.
 type prober struct {
+	ctx    context.Context
 	g      *graph.Graph
 	params Params
 
@@ -159,8 +208,8 @@ type prober struct {
 	tasks map[float64]*probeTask
 }
 
-func newProber(g *graph.Graph, params Params) *prober {
-	return &prober{g: g, params: params, tasks: make(map[float64]*probeTask)}
+func newProber(ctx context.Context, g *graph.Graph, params Params) *prober {
+	return &prober{ctx: ctx, g: g, params: params, tasks: make(map[float64]*probeTask)}
 }
 
 // ensure starts evaluating σ if no live task exists for it.
@@ -174,15 +223,17 @@ func (p *prober) ensureLocked(sigma float64) *probeTask {
 	if t, ok := p.tasks[sigma]; ok {
 		return t
 	}
+	taskCtx, cancel := context.WithCancel(p.ctx)
 	t := &probeTask{
-		sigma: sigma,
-		done:  make(chan struct{}),
-		quit:  make(chan struct{}),
+		sigma:  sigma,
+		done:   make(chan struct{}),
+		ctx:    taskCtx,
+		cancel: cancel,
 	}
 	p.tasks[sigma] = t
 	go func() {
-		t.att, t.examined = generateObfuscation(p.g, sigma, p.params, t.quit)
-		t.aborted = cancelled(t.quit)
+		t.att, t.examined = generateObfuscation(taskCtx, p.g, sigma, p.params)
+		t.aborted = taskCtx.Err() != nil
 		close(t.done)
 	}()
 	return t
@@ -190,14 +241,20 @@ func (p *prober) ensureLocked(sigma float64) *probeTask {
 
 // get blocks until the probe at σ is available and returns its attempt
 // and examined-trial count. A task cancelled before finishing is
-// discarded and re-evaluated (purity makes the retry exact); this is a
-// defensive path — the search only cancels probes it never revisits.
-func (p *prober) get(sigma float64) (Attempt, int) {
+// discarded and re-evaluated (purity makes the retry exact) unless the
+// search context itself is done, in which case get returns its error;
+// the re-evaluation path is defensive — the search only cancels probes
+// it never revisits.
+func (p *prober) get(sigma float64) (Attempt, int, error) {
 	for {
 		t := p.ensure(sigma)
 		<-t.done
 		if !t.aborted {
-			return t.att, t.examined
+			t.cancel() // release the task's derived context
+			return t.att, t.examined, nil
+		}
+		if err := p.ctx.Err(); err != nil {
+			return Attempt{}, 0, err
 		}
 		p.mu.Lock()
 		if p.tasks[sigma] == t {
@@ -237,15 +294,18 @@ func (p *prober) cancelAbove(bound float64) {
 // shutdown cancels every remaining probe and joins their goroutines, so
 // no speculative work is still reading the graph — or stealing cores
 // from the caller's next run — after Obfuscate returns. Cancellation is
-// polled between trial stages and per scan chunk, which bounds the wait.
+// observed between trial stages and per scan chunk, which bounds the
+// wait; every task's derived context is released.
 func (p *prober) shutdown() {
-	p.cancelAbove(0)
 	p.mu.Lock()
 	tasks := make([]*probeTask, 0, len(p.tasks))
 	for _, t := range p.tasks {
 		tasks = append(tasks, t)
 	}
 	p.mu.Unlock()
+	for _, t := range tasks {
+		t.cancel()
+	}
 	for _, t := range tasks {
 		<-t.done
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestObfuscateSatisfiesIndependentVerifier(t *testing.T) {
 	// the same tail is ~1e-4 of n), so eps must be sized accordingly.
 	g := testGraph(7, 400)
 	params := Params{K: 10, Eps: 0.08, C: 2, Q: 0.01, Trials: 3, Delta: 1e-4, Rng: randx.New(8)}
-	res, err := Obfuscate(g, params)
+	res, err := Obfuscate(context.Background(), g, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +116,11 @@ func TestObfuscateHarderRequirementNeedsMoreNoise(t *testing.T) {
 	// of paper Table 2. Randomness can blur single comparisons, so
 	// compare a low and a high requirement far apart.
 	g := testGraph(9, 400)
-	easy, err := Obfuscate(g, Params{K: 3, Eps: 0.1, C: 2, Q: 0.01, Trials: 2, Delta: 1e-4, Rng: randx.New(10)})
+	easy, err := Obfuscate(context.Background(), g, Params{K: 3, Eps: 0.1, C: 2, Q: 0.01, Trials: 2, Delta: 1e-4, Rng: randx.New(10)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hard, err := Obfuscate(g, Params{K: 40, Eps: 0.1, C: 2, Q: 0.01, Trials: 2, Delta: 1e-4, Rng: randx.New(10)})
+	hard, err := Obfuscate(context.Background(), g, Params{K: 40, Eps: 0.1, C: 2, Q: 0.01, Trials: 2, Delta: 1e-4, Rng: randx.New(10)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,14 +131,14 @@ func TestObfuscateHarderRequirementNeedsMoreNoise(t *testing.T) {
 
 func TestObfuscateParamValidation(t *testing.T) {
 	g := testGraph(11, 50)
-	if _, err := Obfuscate(g, Params{K: 0.5, Eps: 0.1}); err == nil {
+	if _, err := Obfuscate(context.Background(), g, Params{K: 0.5, Eps: 0.1}); err == nil {
 		t.Error("k < 1 should error")
 	}
-	if _, err := Obfuscate(g, Params{K: 2, Eps: 1.5}); err == nil {
+	if _, err := Obfuscate(context.Background(), g, Params{K: 2, Eps: 1.5}); err == nil {
 		t.Error("eps >= 1 should error")
 	}
 	empty := graph.NewBuilder(10).Build()
-	if _, err := Obfuscate(empty, Params{K: 2, Eps: 0.1}); err == nil {
+	if _, err := Obfuscate(context.Background(), empty, Params{K: 2, Eps: 0.1}); err == nil {
 		t.Error("empty graph should error")
 	}
 }
@@ -145,7 +146,7 @@ func TestObfuscateParamValidation(t *testing.T) {
 func TestObfuscateImpossibleRequirementFails(t *testing.T) {
 	// k larger than the vertex count is unattainable: H(Y) <= log2(n).
 	g := testGraph(12, 60)
-	_, err := Obfuscate(g, Params{K: 1000, Eps: 0, C: 2, Trials: 1, Delta: 1e-2, MaxSigma: 8, Rng: randx.New(13)})
+	_, err := Obfuscate(context.Background(), g, Params{K: 1000, Eps: 0, C: 2, Trials: 1, Delta: 1e-2, MaxSigma: 8, Rng: randx.New(13)})
 	if err == nil {
 		t.Fatal("expected ErrNoObfuscation")
 	}
@@ -154,7 +155,7 @@ func TestObfuscateImpossibleRequirementFails(t *testing.T) {
 func TestObfuscateDeterministicForSeed(t *testing.T) {
 	g := testGraph(14, 200)
 	run := func() *Result {
-		res, err := Obfuscate(g, Params{K: 5, Eps: 0.02, C: 2, Q: 0.01, Trials: 2, Delta: 1e-3, Rng: randx.New(99)})
+		res, err := Obfuscate(context.Background(), g, Params{K: 5, Eps: 0.02, C: 2, Q: 0.01, Trials: 2, Delta: 1e-3, Rng: randx.New(99)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -53,7 +54,7 @@ func TestObfuscateWorkerEquivalence(t *testing.T) {
 		for _, seed := range []int64{1, 42} {
 			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
 				run := func(workers int) *Result {
-					res, err := Obfuscate(g, Params{
+					res, err := Obfuscate(context.Background(), g, Params{
 						K: 4, Eps: 0.1, C: 2, Q: 0.01,
 						Trials: 3, Delta: 1e-3,
 						Workers: workers, Seed: seed,
@@ -167,7 +168,7 @@ func TestProbePurity(t *testing.T) {
 func TestLegacyRngStillDeterministic(t *testing.T) {
 	g := gen.HolmeKim(randx.New(8), 200, 3, 0.2)
 	run := func(r *rand.Rand) *Result {
-		res, err := Obfuscate(g, Params{K: 3, Eps: 0.15, Trials: 2, Delta: 1e-3, Rng: r})
+		res, err := Obfuscate(context.Background(), g, Params{K: 3, Eps: 0.15, Trials: 2, Delta: 1e-3, Rng: r})
 		if err != nil {
 			t.Fatal(err)
 		}

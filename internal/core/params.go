@@ -67,7 +67,16 @@ type Params struct {
 	// one value is drawn from it to derive Seed, so pre-Workers callers
 	// remain reproducible. The engine never shares Rng across trials —
 	// per-trial streams are always derived from the resolved seed.
+	//
+	// Deprecated: set Seed (or use the facade's WithSeed option). Rng
+	// exists for one release of compatibility with pre-Seed callers.
 	Rng *rand.Rand
+	// Progress, when non-nil, is invoked from the search goroutine after
+	// each consumed σ probe with the number of probes consumed so far
+	// and an estimated total (0 while the doubling phase has not yet
+	// bounded the search). It must not block for long: the search waits
+	// on it. Progress observation never affects results.
+	Progress func(done, total int)
 }
 
 func (p Params) withDefaults() Params {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"uncertaingraph/internal/adversary"
@@ -77,7 +78,7 @@ func TestP2UniquenessHubsMoreUnique(t *testing.T) {
 func TestObfuscateWithP2Property(t *testing.T) {
 	// End-to-end: P2 drives uniqueness, degree drives verification.
 	g := testGraph(22, 250)
-	res, err := Obfuscate(g, Params{
+	res, err := Obfuscate(context.Background(), g, Params{
 		K: 5, Eps: 0.12, Trials: 2, Delta: 1e-3,
 		Property: NewNeighborhoodDegreeProperty(),
 		Rng:      randx.New(23),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"uncertaingraph/internal/adversary"
@@ -69,7 +70,7 @@ func TestP3DistanceTriangleLowerBoundSanity(t *testing.T) {
 
 func TestObfuscateWithP3Property(t *testing.T) {
 	g := testGraph(41, 200)
-	res, err := Obfuscate(g, Params{
+	res, err := Obfuscate(context.Background(), g, Params{
 		K: 4, Eps: 0.15, Trials: 2, Delta: 1e-3,
 		Property: NewRadiusOneProperty(),
 		Rng:      randx.New(42),

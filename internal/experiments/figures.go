@@ -63,10 +63,13 @@ func Figure2(s *Suite) ([]FigureSeries, error) {
 		if run == nil {
 			continue
 		}
-		rows := sampling.RunVector(run.G, s.samplingConfig(3000+int64(ke[0])),
+		rows, err := sampling.RunVector(s.ctx(), run.G, s.samplingConfig(3000+int64(ke[0])),
 			func(w *graph.Graph, seed int64) []float64 {
 				return s.distanceFractions(w, seed)
 			})
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, FigureSeries{
 			Title:     "dblp " + obfLabel(ke[0], ke[1]) + " S_PDD",
 			Boxes:     sampling.Boxes(rows),
@@ -93,10 +96,13 @@ func Figure3(s *Suite) ([]FigureSeries, error) {
 		if run == nil {
 			continue
 		}
-		rows := sampling.RunVector(run.G, s.samplingConfig(4000+int64(ke[0])),
+		rows, err := sampling.RunVector(s.ctx(), run.G, s.samplingConfig(4000+int64(ke[0])),
 			func(w *graph.Graph, _ int64) []float64 {
 				return stats.DegreeDistribution(w)
 			})
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, FigureSeries{
 			Title:     "dblp " + obfLabel(ke[0], ke[1]) + " S_DD",
 			Boxes:     sampling.Boxes(rows),

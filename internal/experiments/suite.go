@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -136,11 +137,24 @@ type ObfRun struct {
 // Suite caches datasets and obfuscation runs across drivers.
 type Suite struct {
 	Opt Options
+	// Ctx, when non-nil, scopes every driver's long-running work
+	// (obfuscation searches, world sampling): cancelling it makes the
+	// in-flight driver return the context's error. cmd/experiments wires
+	// SIGINT/SIGTERM into it so half-day table runs die cleanly.
+	Ctx context.Context
 
 	mu     sync.Mutex
 	data   map[string]datasets.Dataset
 	runs   map[string]*ObfRun
 	failed map[string]bool
+}
+
+// ctx resolves the suite's context for engine calls.
+func (s *Suite) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // NewSuite validates options and prepares an empty cache.
@@ -205,7 +219,7 @@ func (s *Suite) Obfuscate(dataset string, k, eps float64) (*ObfRun, error) {
 			Seed:    s.Opt.Seed + int64(k)*1000 + int64(eps*1e7),
 		}
 		start := time.Now()
-		res, err := core.Obfuscate(d.Graph, params)
+		res, err := core.Obfuscate(s.ctx(), d.Graph, params)
 		elapsed := time.Since(start)
 		if err == nil {
 			run.Sigma = res.Sigma

@@ -75,7 +75,10 @@ func Table4(s *Suite) ([]UtilityRow, error) {
 			if run == nil {
 				continue
 			}
-			rep := sampling.Run(run.G, s.samplingConfig(int64(k)))
+			rep, err := sampling.Run(s.ctx(), run.G, s.samplingConfig(int64(k)))
+			if err != nil {
+				return nil, err
+			}
 			means := make(map[string]float64, len(sampling.StatNames))
 			for _, stat := range sampling.StatNames {
 				means[stat] = rep.Mean(stat)
@@ -105,7 +108,10 @@ func Table5(s *Suite) ([]UtilityRow, error) {
 			if run == nil {
 				continue
 			}
-			rep := sampling.Run(run.G, s.samplingConfig(int64(k)))
+			rep, err := sampling.Run(s.ctx(), run.G, s.samplingConfig(int64(k)))
+			if err != nil {
+				return nil, err
+			}
 			sems := make(map[string]float64, len(sampling.StatNames))
 			var sum float64
 			for _, stat := range sampling.StatNames {
@@ -212,7 +218,10 @@ func Table6(s *Suite) ([]Table6Row, error) {
 		if run == nil {
 			continue
 		}
-		rep := sampling.Run(run.G, s.samplingConfig(7000+int64(setting.K)))
+		rep, err := sampling.Run(s.ctx(), run.G, s.samplingConfig(7000+int64(setting.K)))
+		if err != nil {
+			return nil, err
+		}
 		obfMeans := make(map[string]float64, len(sampling.StatNames))
 		for _, stat := range sampling.StatNames {
 			obfMeans[stat] = rep.Mean(stat)

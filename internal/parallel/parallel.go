@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -44,4 +45,71 @@ func For(n, workers int, aborted func() bool, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with context-based abortion: iteration claims stop at
+// the first claim after ctx is done (in-flight iterations run to
+// completion — cancellation lands within one iteration of work), and
+// the context's error is returned. A nil ctx never aborts. All spawned
+// goroutines have returned when ForCtx does, so a cancelled loop leaks
+// nothing.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		For(n, workers, nil, fn)
+		return nil
+	}
+	For(n, workers, func() bool { return ctx.Err() != nil }, fn)
+	return ctx.Err()
+}
+
+// ForWorkers dispatches the indices [0, n) to exactly `workers`
+// long-lived goroutines over an unbuffered channel, invoking
+// fn(worker, i) with the stable worker id — the shape the world-loop
+// engines need, where each worker owns heavy reusable state (samplers,
+// BFS scratch) addressed by that id. fn's first call for a given
+// worker id happens on that worker's goroutine, so per-worker state
+// may be built lazily and in parallel without synchronization.
+//
+// Cancelling ctx stops dispatch at the next index and makes workers
+// skip (drain) anything already queued, so cancellation lands within
+// one in-flight iteration per worker; all goroutines are joined before
+// ForWorkers returns, and the context's error is returned. A nil ctx
+// never cancels.
+func ForWorkers(ctx context.Context, n, workers int, fn func(worker, i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 1 {
+		// Inline like For(): without this guard a non-positive worker
+		// count would leave the unbuffered send below blocked forever.
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			fn(0, i)
+		}
+		return ctx.Err()
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain the channel without doing work
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	return ctx.Err()
 }

@@ -19,6 +19,7 @@
 package qserve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -190,7 +191,7 @@ func (s *Server) handleSingle(op string) http.HandlerFunc {
 			}
 			req.Seed = &seed
 		}
-		s.serve(w, &req)
+		s.serve(r.Context(), w, &req)
 	}
 }
 
@@ -202,12 +203,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	s.serve(w, &req)
+	s.serve(r.Context(), w, &req)
 }
 
-// serve validates req, runs it through a pooled batch and writes the
-// response.
-func (s *Server) serve(w http.ResponseWriter, req *BatchRequest) {
+// serve validates req, runs it through a pooled batch under the
+// request's context and writes the response. A dropped connection (or
+// server shutdown closing idle connections) cancels ctx, which stops
+// the batch's BFS work mid-flight at world granularity; the batch then
+// returns to the pool clean — Reset on next acquire re-derives
+// everything — and no response is written to the dead client.
+func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchRequest) {
 	if err := s.validate(req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -230,7 +235,11 @@ func (s *Server) serve(w http.ResponseWriter, req *BatchRequest) {
 	b.Worlds = worlds
 	b.Seed = seed
 	b.Workers = s.Workers
-	b.Run()
+	if err := b.Run(ctx); err != nil {
+		// The client is gone; abandon the answer but keep the buffers.
+		s.pool.Put(b)
+		return
+	}
 
 	resp := BatchResponse{Worlds: worlds, Seed: seed, Results: make([]QueryResult, len(req.Queries))}
 	for i, q := range req.Queries {
@@ -299,13 +308,20 @@ func (s *Server) validate(req *BatchRequest) error {
 }
 
 func (s *Server) worlds(requested int) int {
-	if requested > 0 {
-		return requested
+	w := requested
+	if w <= 0 {
+		w = s.Worlds
 	}
-	if s.Worlds > 0 {
-		return s.Worlds
+	if w <= 0 {
+		w = query.DefaultWorlds()
 	}
-	return query.DefaultWorlds()
+	// The cap bounds every request, including ones that fall back to a
+	// misconfigured server default larger than MaxWorlds; explicit
+	// over-cap requests were already rejected by validate.
+	if max := s.maxWorlds(); w > max {
+		w = max
+	}
+	return w
 }
 
 func (s *Server) maxWorlds() int {

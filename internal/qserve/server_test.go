@@ -1,6 +1,7 @@
 package qserve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -232,5 +233,65 @@ func TestValidationErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", reqBody, resp.StatusCode)
 		}
+	}
+}
+
+// TestRequestCancellationStopsRun pins the request-scoped cancellation
+// wiring: a client that drops mid-batch cancels its context, the run
+// aborts with no response written, and the pooled batch stays healthy —
+// the next request reuses it and answers deterministically.
+func TestRequestCancellationStopsRun(t *testing.T) {
+	srv := &Server{G: testGraph(t), Worlds: 4000, Seed: 11}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/reliability?s=0&t=4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err == nil {
+		t.Error("dropped request completed with a response")
+	}
+
+	// The server keeps serving after the abandoned run: same request
+	// twice, identical (content-derived seed) answers.
+	s1, b1 := get(t, ts.URL+"/reliability?s=0&t=4&worlds=200")
+	s2, b2 := get(t, ts.URL+"/reliability?s=0&t=4&worlds=200")
+	if s1 != http.StatusOK || s2 != http.StatusOK {
+		t.Fatalf("post-cancel statuses %d/%d, want 200", s1, s2)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("post-cancel answers diverge: %s vs %s", b1, b2)
+	}
+}
+
+// TestServerDefaultWorldsClamped pins that the MaxWorlds cap also
+// bounds the server-configured default: a daemon misconfigured with
+// Worlds > MaxWorlds must not serve uncapped requests whenever the
+// client omits the worlds field.
+func TestServerDefaultWorldsClamped(t *testing.T) {
+	srv := &Server{G: testGraph(t), Worlds: 500, MaxWorlds: 200, Seed: 11}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	status, body := get(t, ts.URL+"/reliability?s=0&t=1")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Worlds != 200 {
+		t.Errorf("default worlds served = %d, want clamped 200", resp.Worlds)
 	}
 }

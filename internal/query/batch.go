@@ -1,14 +1,16 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"uncertaingraph/internal/bfs"
 	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/parallel"
 	"uncertaingraph/internal/randx"
 	"uncertaingraph/internal/uncertain"
 )
@@ -29,6 +31,12 @@ type Config struct {
 	// integer counts, so the merged results are bit-identical for every
 	// value.
 	Workers int
+	// Progress, when non-nil, is invoked after each world completes
+	// with the number of finished worlds and the total. Workers invoke
+	// it concurrently; implementations must be safe for concurrent use
+	// and must not block for long. Progress observation never affects
+	// results.
+	Progress func(done, total int)
 }
 
 // Batch evaluates many queries against one shared set of sampled
@@ -46,11 +54,12 @@ type Config struct {
 // used concurrently; concurrency lives inside Run (the Workers fan-out)
 // and across independent Batches.
 type Batch struct {
-	// Worlds, Seed and Workers may be adjusted between Run calls; see
-	// Config for their meaning.
-	Worlds  int
-	Seed    int64
-	Workers int
+	// Worlds, Seed, Workers and Progress may be adjusted between Run
+	// calls; see Config for their meaning.
+	Worlds   int
+	Seed     int64
+	Workers  int
+	Progress func(done, total int)
 
 	g *uncertain.Graph
 
@@ -116,6 +125,7 @@ func NewBatch(g *uncertain.Graph, cfg Config) *Batch {
 		Worlds:   cfg.Worlds,
 		Seed:     cfg.Seed,
 		Workers:  cfg.Workers,
+		Progress: cfg.Progress,
 		srcIndex: make(map[int32]int),
 	}
 }
@@ -254,37 +264,72 @@ func (b *Batch) workerCount(jobs int) int {
 // its seed, and all accumulators are integer counts, so results are
 // bit-identical for every Workers value. Run may be called again — the
 // same Seed reproduces the same answers, a new Seed resamples.
-func (b *Batch) Run() {
+//
+// Cancelling ctx aborts the run at world granularity: no new world is
+// scanned once ctx is done, in-flight worlds finish, every worker
+// goroutine is joined, and ctx.Err() is returned with the batch left
+// un-ran (result accessors stay unavailable, no buffers leak). A
+// subsequent Run on the same batch re-derives the world seeds and
+// resets every accumulator, so it produces results bit-identical to a
+// never-cancelled run. A nil ctx never cancels.
+func (b *Batch) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Mark the batch un-ran before touching any accumulator: a
+	// cancelled re-Run must leave the previous run's (now wiped)
+	// results unavailable, not silently readable.
+	b.ran = false
 	r := b.worlds()
 	workers := b.workerCount(r)
 	b.prepare(workers, r)
 	if workers == 1 {
+		// The serving hot path: kept closure- and channel-free (worker
+		// fan-out lives in runParallel, whose closures would otherwise
+		// force ctx to escape here) so the steady-state loop performs
+		// zero heap allocations.
 		w := b.ws[0]
 		for i := 0; i < r; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			b.scanWorld(w, i)
+			if b.Progress != nil {
+				b.Progress(i+1, r)
+			}
 		}
 	} else {
-		next := make(chan int)
-		var wg sync.WaitGroup
-		for k := 0; k < workers; k++ {
-			wg.Add(1)
-			go func(w *worker) {
-				defer wg.Done()
-				for i := range next {
-					b.scanWorld(w, i)
-				}
-			}(b.ws[k])
-		}
-		for i := 0; i < r; i++ {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+		b.runParallel(ctx, workers, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	b.merge(workers)
 	b.worldsRun = r
 	b.ran = true
+	return nil
 }
+
+// runParallel fans the r worlds out over the prepared workers via the
+// shared ctx-aware dispatch loop: cancellation stops dispatch and
+// skips queued worlds, and all worker goroutines have exited when it
+// returns.
+func (b *Batch) runParallel(ctx context.Context, workers, r int) {
+	var finished atomic.Int64
+	_ = parallel.ForWorkers(ctx, r, workers, func(k, i int) {
+		b.scanWorld(b.ws[k], i)
+		if b.Progress != nil {
+			b.Progress(int(finished.Add(1)), r)
+		}
+	})
+}
+
+// MustRun is Run without cancellation, for callers that predate the
+// context-first API; it cannot fail.
+//
+// Deprecated: use Run(ctx). MustRun remains for one release of
+// compatibility with the pre-context Run() signature.
+func (b *Batch) MustRun() { _ = b.Run(context.Background()) }
 
 // prepare refreshes the world-seed table and the per-worker samplers
 // and accumulators, reusing every buffer from previous runs.

@@ -142,7 +142,7 @@ func TestMedianDistanceAgreesWithKNearest(t *testing.T) {
 				distIDs[v] = b.AddDistance(s, v)
 			}
 		}
-		b.Run()
+		b.MustRun()
 		medians := make(map[int]int, g.NumVertices())
 		for _, nb := range b.KNearestWithMedians(knnID) {
 			medians[nb.V] = nb.Median
@@ -184,7 +184,7 @@ func runDblpBatch(g *uncertain.Graph, workers int) batchResults {
 	for _, q := range sources {
 		knnIDs = append(knnIDs, b.AddKNearest(q.s, q.k))
 	}
-	b.Run()
+	b.MustRun()
 	var res batchResults
 	for i := range pairs {
 		res.rel = append(res.rel, b.Reliability(relIDs[i]))
@@ -248,7 +248,7 @@ func TestBatchMatchesEngine(t *testing.T) {
 
 	b := NewBatch(g, Config{Worlds: 60, Seed: e.batch.Seed, Workers: 1})
 	id := b.AddReliability(3, 77)
-	b.Run()
+	b.MustRun()
 	if want := b.Reliability(id); got != want {
 		t.Errorf("engine %v != batch %v on the same stream", got, want)
 	}
@@ -266,7 +266,7 @@ func TestBatchSharedWorldsConsistency(t *testing.T) {
 	for _, p := range [][2]int{{0, 9}, {10, 400}, {77, 78}} {
 		qs = append(qs, q{rel: b.AddReliability(p[0], p[1]), dist: b.AddDistance(p[0], p[1])})
 	}
-	b.Run()
+	b.MustRun()
 	for i, quer := range qs {
 		rel := b.Reliability(quer.rel)
 		dist, disc := b.DistanceDistribution(quer.dist)
@@ -290,7 +290,7 @@ func TestBatchSharedSourceKNN(t *testing.T) {
 	b := NewBatch(g, Config{Worlds: 30, Seed: 9, Workers: 1})
 	small := b.AddKNearest(0, 3)
 	big := b.AddKNearest(0, 8)
-	b.Run()
+	b.MustRun()
 	smallRes := append([]Neighbor(nil), b.KNearestWithMedians(small)...)
 	bigRes := b.KNearestWithMedians(big)
 	if len(smallRes) != 3 || len(bigRes) != 8 {
@@ -301,7 +301,7 @@ func TestBatchSharedSourceKNN(t *testing.T) {
 	}
 	solo := NewBatch(g, Config{Worlds: 30, Seed: 9, Workers: 1})
 	id := solo.AddKNearest(0, 8)
-	solo.Run()
+	solo.MustRun()
 	if got := solo.KNearestWithMedians(id); !reflect.DeepEqual(got, bigRes) {
 		t.Errorf("duplicated query changed the answer: %v vs %v", bigRes, got)
 	}
@@ -322,14 +322,14 @@ func TestBatchShrinkRegrowKeepsBuffers(t *testing.T) {
 			b.AddDistance(11*i, 13*i+7)
 			b.AddKNearest(11*i, 5)
 		}
-		b.Run()
+		b.MustRun()
 	}
 	large(1)
 	// A smaller request truncates the per-kind accumulator tables...
 	b.Reset()
 	b.Seed = 2
 	b.AddDistance(0, 7)
-	b.Run()
+	b.MustRun()
 	large(1) // ...and the regrown shape warms any newly-seen distances.
 	allocs := testing.AllocsPerRun(10, func() {
 		large(1)
@@ -351,12 +351,12 @@ func TestBatchResetReuse(t *testing.T) {
 		reused.Seed = int64(round)
 		relID := reused.AddReliability(s, s+31)
 		knnID := reused.AddKNearest(s, 4)
-		reused.Run()
+		reused.MustRun()
 
 		fresh := NewBatch(g, Config{Worlds: 30, Seed: int64(round), Workers: 1})
 		fRel := fresh.AddReliability(s, s+31)
 		fKnn := fresh.AddKNearest(s, 4)
-		fresh.Run()
+		fresh.MustRun()
 
 		if got, want := reused.Reliability(relID), fresh.Reliability(fRel); got != want {
 			t.Errorf("round %d: reused reliability %v != fresh %v", round, got, want)

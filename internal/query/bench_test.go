@@ -28,13 +28,13 @@ func BenchmarkBatchQueries(b *testing.B) {
 	const seedCycle = 16
 	for i := 0; i < seedCycle; i++ {
 		batch.Seed = int64(i)
-		batch.Run()
+		batch.MustRun()
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		batch.Seed = int64(i % seedCycle)
-		batch.Run()
+		batch.MustRun()
 		benchSink = batch.Reliability(relIDs[0]) + float64(batch.MedianDistance(distIDs[0]))
 	}
 	_ = knnIDs

@@ -32,7 +32,15 @@ import (
 )
 
 // Engine runs world-sampling queries over one uncertain graph: the
-// one-query-at-a-time layer on top of Batch.
+// one-query-at-a-time layer on top of Batch. It is a documented shim —
+// every method registers a single query on the engine's reusable Batch
+// and runs it without cancellation; new code should drive a Batch
+// directly (register queries, Run(ctx), read results) and gain
+// request-scoped cancellation plus one-BFS-per-source sharing across
+// queries.
+//
+// Deprecated: use Batch. Engine remains for one release of
+// compatibility.
 type Engine struct {
 	G *uncertain.Graph
 	// Worlds is the Monte-Carlo sample size (0 selects the Hoeffding
@@ -98,7 +106,7 @@ func (e *Engine) worlds() int {
 func (e *Engine) Reliability(s, t int) float64 {
 	b := e.prepareBatch()
 	id := b.AddReliability(s, t)
-	b.Run()
+	b.MustRun()
 	return b.Reliability(id)
 }
 
@@ -109,7 +117,7 @@ func (e *Engine) Reliability(s, t int) float64 {
 func (e *Engine) DistanceDistribution(s, t int) (dist map[int]float64, disconnected float64) {
 	b := e.prepareBatch()
 	id := b.AddDistance(s, t)
-	b.Run()
+	b.MustRun()
 	return b.DistanceDistribution(id)
 }
 
@@ -121,7 +129,7 @@ func (e *Engine) DistanceDistribution(s, t int) (dist map[int]float64, disconnec
 func (e *Engine) MedianDistance(s, t int) int {
 	b := e.prepareBatch()
 	id := b.AddDistance(s, t)
-	b.Run()
+	b.MustRun()
 	return b.MedianDistance(id)
 }
 
@@ -136,6 +144,6 @@ func (e *Engine) ExpectedDegree(v int) float64 { return e.G.ExpectedDegree(v) }
 func (e *Engine) KNearest(s, k int) []int {
 	b := e.prepareBatch()
 	id := b.AddKNearest(s, k)
-	b.Run()
+	b.MustRun()
 	return b.KNearest(id)
 }

@@ -199,11 +199,11 @@ func TestEngineZeroAllocSteadyState(t *testing.T) {
 	id = b.AddReliability(0, 29)
 	b.AddDistance(0, 15)
 	b.AddKNearest(0, 5)
-	b.Run() // warm up batch buffers
+	b.MustRun() // warm up batch buffers
 	seed := int64(1)
 	allocs = testing.AllocsPerRun(20, func() {
 		b.Seed = seed
-		b.Run()
+		b.MustRun()
 		seed++
 	})
 	if allocs != 0 {

@@ -6,6 +6,7 @@ package sampling
 // path stays visible across PRs.
 
 import (
+	"context"
 	"testing"
 
 	"uncertaingraph/internal/core"
@@ -20,7 +21,7 @@ func benchPublished(b *testing.B) *uncertain.Graph {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Obfuscate(d.Graph, core.Params{
+	res, err := core.Obfuscate(context.Background(), d.Graph, core.Params{
 		K: 5, Eps: 0.3, Trials: 2, Delta: 1e-4, Seed: 42,
 	})
 	if err != nil {
@@ -81,7 +82,9 @@ func BenchmarkEstimateStatistics(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Run(ug, cfg)
+		if _, err := Run(context.Background(), ug, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -94,6 +97,8 @@ func BenchmarkEstimateStatisticsANF(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Run(ug, cfg)
+		if _, err := Run(context.Background(), ug, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

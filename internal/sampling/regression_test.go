@@ -9,6 +9,7 @@ package sampling_test
 // order, the adjacency order, or a float summation order changed.
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -30,7 +31,7 @@ func regressionPublished(t *testing.T) *uncertain.Graph {
 	if n, m := d.Graph.NumVertices(), d.Graph.NumEdges(); n != 566 || m != 1679 {
 		t.Fatalf("fixture drifted: n=%d m=%d, want 566/1679", n, m)
 	}
-	res, err := core.Obfuscate(d.Graph, core.Params{
+	res, err := core.Obfuscate(context.Background(), d.Graph, core.Params{
 		K: 5, Eps: 0.3, Trials: 2, Delta: 1e-4, Seed: 42,
 	})
 	if err != nil {
@@ -118,7 +119,10 @@ func TestRegressionPinnedStatistics(t *testing.T) {
 	}
 	ug := regressionPublished(t)
 	for _, pin := range regressionPins {
-		rep := sampling.Run(ug, pin.cfg)
+		rep, err := sampling.Run(context.Background(), ug, pin.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if rep.ExactNE != pin.exact[0] || rep.ExactAD != pin.exact[1] {
 			t.Errorf("cfg %+v: exact (%.17g, %.17g), want (%.17g, %.17g)",
 				pin.cfg, rep.ExactNE, rep.ExactAD, pin.exact[0], pin.exact[1])
@@ -149,8 +153,11 @@ func TestRunWorkerCountBitIdentity(t *testing.T) {
 		cfg1.Workers = 1
 		cfg4 := cfg
 		cfg4.Workers = 4
-		rep1 := sampling.Run(ug, cfg1)
-		rep4 := sampling.Run(ug, cfg4)
+		rep1, err1 := sampling.Run(context.Background(), ug, cfg1)
+		rep4, err4 := sampling.Run(context.Background(), ug, cfg4)
+		if err1 != nil || err4 != nil {
+			t.Fatal(err1, err4)
+		}
 		if !reflect.DeepEqual(rep1.Samples, rep4.Samples) {
 			t.Errorf("dist=%d: Workers=1 and Workers=4 sample arrays differ", cfg.Distances)
 		}
@@ -177,8 +184,11 @@ func TestRunVectorWorkerCountBitIdentity(t *testing.T) {
 		}
 		return out
 	}
-	rows1 := sampling.RunVector(ug, sampling.Config{Worlds: 8, Seed: 5, Workers: 1}, fn)
-	rows4 := sampling.RunVector(ug, sampling.Config{Worlds: 8, Seed: 5, Workers: 4}, fn)
+	rows1, err1 := sampling.RunVector(context.Background(), ug, sampling.Config{Worlds: 8, Seed: 5, Workers: 1}, fn)
+	rows4, err4 := sampling.RunVector(context.Background(), ug, sampling.Config{Worlds: 8, Seed: 5, Workers: 4}, fn)
+	if err1 != nil || err4 != nil {
+		t.Fatal(err1, err4)
+	}
 	if !reflect.DeepEqual(rows1, rows4) {
 		t.Error("RunVector rows differ across worker counts")
 	}

@@ -17,15 +17,18 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"uncertaingraph/internal/anf"
 	"uncertaingraph/internal/bfs"
 	"uncertaingraph/internal/graph"
 	"uncertaingraph/internal/mathx"
+	"uncertaingraph/internal/parallel"
 	"uncertaingraph/internal/randx"
 	"uncertaingraph/internal/stats"
 	"uncertaingraph/internal/uncertain"
@@ -73,6 +76,12 @@ type Config struct {
 	PowerLawMinDegree int
 	// EffectiveDiameterQ is the S_EDiam quantile (0 -> 0.9).
 	EffectiveDiameterQ float64
+	// Progress, when non-nil, is invoked after each world completes
+	// with the number of finished worlds and the total. Workers invoke
+	// it concurrently; implementations must be safe for concurrent use
+	// and must not block for long. Progress observation never affects
+	// results.
+	Progress func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -209,39 +218,48 @@ func worldSeeds(cfg Config) []int64 {
 // whole range, so the per-world loop allocates nothing; the world
 // passed to fn aliases the worker's sampler buffers and is valid only
 // for that call.
-func forEachWorld(ug *uncertain.Graph, cfg Config, fn func(i int, world *graph.Graph, seed int64, sc *Scratch)) {
+//
+// Cancelling ctx stops the loop at world granularity: no new world is
+// dispatched or evaluated once ctx is done, in-flight worlds finish,
+// every worker goroutine is joined before forEachWorld returns, and
+// the context's error is returned. A nil ctx never cancels.
+func forEachWorld(ctx context.Context, ug *uncertain.Graph, cfg Config, fn func(i int, world *graph.Graph, seed int64, sc *Scratch)) error {
 	seeds := worldSeeds(cfg)
 	workers := cfg.workerCount(cfg.Worlds)
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sampler := ug.NewSampler()
-			rng := randx.New(0)
-			sc := NewScratch(cfg)
-			for i := range next {
-				// Reseeding replays exactly the stream randx.New(seed)
-				// would produce, without constructing a new generator.
-				rng.Seed(seeds[i])
-				world := sampler.Sample(rng)
-				fn(i, world, seeds[i], sc)
-			}
-		}()
+	// Per-worker buffer sets, built lazily on first use: ForWorkers runs
+	// every call for worker w on w's own goroutine, so construction is
+	// race-free and stays parallel.
+	type wstate struct {
+		sampler *uncertain.Sampler
+		rng     *rand.Rand
+		sc      *Scratch
 	}
-	for i := 0; i < cfg.Worlds; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	states := make([]*wstate, workers)
+	var finished atomic.Int64
+	return parallel.ForWorkers(ctx, cfg.Worlds, workers, func(w, i int) {
+		st := states[w]
+		if st == nil {
+			st = &wstate{sampler: ug.NewSampler(), rng: randx.New(0), sc: NewScratch(cfg)}
+			states[w] = st
+		}
+		// Reseeding replays exactly the stream randx.New(seed) would
+		// produce, without constructing a new generator.
+		st.rng.Seed(seeds[i])
+		world := st.sampler.Sample(st.rng)
+		fn(i, world, seeds[i], st.sc)
+		if cfg.Progress != nil {
+			cfg.Progress(int(finished.Add(1)), cfg.Worlds)
+		}
+	})
 }
 
 // Run samples cfg.Worlds possible worlds of ug and evaluates all ten
 // statistics on each, in parallel across worlds. Results are
 // deterministic for a fixed Config and identical for every Workers
-// value.
-func Run(ug *uncertain.Graph, cfg Config) *Report {
+// value. Cancelling ctx aborts between worlds with no goroutine leaks
+// and returns ctx.Err(); a nil ctx never cancels, and a run that
+// returns a Report is bit-identical to an uncancelled run.
+func Run(ctx context.Context, ug *uncertain.Graph, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	report := &Report{
 		Samples: make(map[string][]float64, len(StatNames)),
@@ -253,14 +271,17 @@ func Run(ug *uncertain.Graph, cfg Config) *Report {
 		samples[i] = make([]float64, cfg.Worlds)
 		report.Samples[name] = samples[i]
 	}
-	forEachWorld(ug, cfg, func(i int, world *graph.Graph, seed int64, sc *Scratch) {
+	err := forEachWorld(ctx, ug, cfg, func(i int, world *graph.Graph, seed int64, sc *Scratch) {
 		var vals [10]float64
 		ScalarsInto(world, cfg, seed, sc, &vals)
 		for s := range samples {
 			samples[s][i] = vals[s]
 		}
 	})
-	return report
+	if err != nil {
+		return nil, err
+	}
+	return report, nil
 }
 
 // VectorFn maps a certain graph to a vector statistic (degree
@@ -271,14 +292,19 @@ type VectorFn func(g *graph.Graph, seed int64) []float64
 
 // RunVector evaluates a vector statistic on each sampled world,
 // returning one row per world (rows may have different lengths; callers
-// typically pad or box-summarize).
-func RunVector(ug *uncertain.Graph, cfg Config, fn VectorFn) [][]float64 {
+// typically pad or box-summarize). Cancellation follows the same
+// contract as Run: abort between worlds, join all workers, return
+// ctx.Err() and no rows.
+func RunVector(ctx context.Context, ug *uncertain.Graph, cfg Config, fn VectorFn) ([][]float64, error) {
 	cfg = cfg.withDefaults()
 	rows := make([][]float64, cfg.Worlds)
-	forEachWorld(ug, cfg, func(i int, world *graph.Graph, seed int64, _ *Scratch) {
+	err := forEachWorld(ctx, ug, cfg, func(i int, world *graph.Graph, seed int64, _ *Scratch) {
 		rows[i] = fn(world, seed)
 	})
-	return rows
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // Box summarizes one coordinate of a vector statistic across worlds:

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -11,6 +12,17 @@ import (
 	"uncertaingraph/internal/stats"
 	"uncertaingraph/internal/uncertain"
 )
+
+// runBG runs Run under a background context, failing the test on the
+// impossible error path.
+func runBG(t testing.TB, ug *uncertain.Graph, cfg Config) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), ug, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
 
 func testUncertain(t testing.TB) *uncertain.Graph {
 	g := gen.HolmeKim(randx.New(1), 300, 3, 0.3)
@@ -48,7 +60,7 @@ func testUncertain(t testing.TB) *uncertain.Graph {
 
 func TestRunProducesAllStatistics(t *testing.T) {
 	ug := testUncertain(t)
-	rep := Run(ug, Config{Worlds: 10, Seed: 3, Distances: DistanceExactBFS})
+	rep := runBG(t, ug, Config{Worlds: 10, Seed: 3, Distances: DistanceExactBFS})
 	for _, name := range StatNames {
 		vals, ok := rep.Samples[name]
 		if !ok || len(vals) != 10 {
@@ -66,7 +78,7 @@ func TestSampledNEMatchesExactExpectation(t *testing.T) {
 	// Footnote 5 of the paper: the sampled S_NE and S_AD agree with the
 	// closed forms of Section 6.2.
 	ug := testUncertain(t)
-	rep := Run(ug, Config{Worlds: 60, Seed: 4, Distances: DistanceExactBFS})
+	rep := runBG(t, ug, Config{Worlds: 60, Seed: 4, Distances: DistanceExactBFS})
 	if rel := math.Abs(rep.Mean("S_NE")-rep.ExactNE) / rep.ExactNE; rel > 0.02 {
 		t.Errorf("sampled S_NE %v vs exact %v", rep.Mean("S_NE"), rep.ExactNE)
 	}
@@ -78,7 +90,7 @@ func TestSampledNEMatchesExactExpectation(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	ug := testUncertain(t)
 	cfg := Config{Worlds: 5, Seed: 9, Distances: DistanceExactBFS}
-	a, b := Run(ug, cfg), Run(ug, cfg)
+	a, b := runBG(t, ug, cfg), runBG(t, ug, cfg)
 	for _, name := range StatNames {
 		if !reflect.DeepEqual(a.Samples[name], b.Samples[name]) {
 			t.Fatalf("statistic %s not deterministic", name)
@@ -89,7 +101,7 @@ func TestRunDeterministic(t *testing.T) {
 func TestCertainGraphHasZeroSEM(t *testing.T) {
 	g := gen.HolmeKim(randx.New(5), 200, 3, 0.3)
 	ug := uncertain.FromCertain(g)
-	rep := Run(ug, Config{Worlds: 8, Seed: 6, Distances: DistanceExactBFS})
+	rep := runBG(t, ug, Config{Worlds: 8, Seed: 6, Distances: DistanceExactBFS})
 	// Every world is the original graph: SEM must be 0 and the mean must
 	// equal the true statistic.
 	for _, name := range []string{"S_NE", "S_AD", "S_MD", "S_DV", "S_CC"} {
@@ -125,9 +137,12 @@ func TestScalarsOfKnownGraph(t *testing.T) {
 
 func TestRunVectorDegreeDistribution(t *testing.T) {
 	ug := testUncertain(t)
-	rows := RunVector(ug, Config{Worlds: 6, Seed: 7}, func(g *graph.Graph, _ int64) []float64 {
+	rows, err := RunVector(context.Background(), ug, Config{Worlds: 6, Seed: 7}, func(g *graph.Graph, _ int64) []float64 {
 		return stats.DegreeDistribution(g)
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 6 {
 		t.Fatal("row count")
 	}

@@ -1,10 +1,12 @@
 package uncertaingraph
 
 import (
+	"context"
 	"math/rand"
 
 	"uncertaingraph/internal/adversary"
 	"uncertaingraph/internal/core"
+	"uncertaingraph/internal/randx"
 )
 
 // ObfuscationParams configures the (k, ε)-obfuscation algorithm; zero
@@ -15,6 +17,11 @@ import (
 // speculative candidates. Results are bit-identical for every Workers
 // value — each (σ, trial) pair derives its own RNG stream from Seed, so
 // parallelism trades wall-clock time only.
+//
+// New code passes the domain knobs via WithObfuscation (plus WithK,
+// WithEps) and the shared Seed/Workers/Progress knobs via their
+// options; the struct remains the exchange format between the two
+// layers.
 type ObfuscationParams = core.Params
 
 // ObfuscationResult is the output of Obfuscate: the published uncertain
@@ -27,11 +34,42 @@ var ErrNoObfuscation = core.ErrNoObfuscation
 
 // Obfuscate runs Algorithm 1 of the paper: a binary search over the
 // noise parameter σ for the minimal uncertainty injection making g a
-// (k, ε)-obfuscation with respect to the degree property. The search
-// runs on params.Workers goroutines (0 = all CPUs) with a deterministic
-// result: see ObfuscationParams.
-func Obfuscate(g *Graph, params ObfuscationParams) (*ObfuscationResult, error) {
-	return core.Obfuscate(g, params)
+// (k, ε)-obfuscation with respect to the degree property.
+//
+//	res, err := uncertaingraph.Obfuscate(ctx, g,
+//	    uncertaingraph.WithK(20), uncertaingraph.WithEps(1e-3),
+//	    uncertaingraph.WithSeed(1), uncertaingraph.WithWorkers(8))
+//
+// The search runs on WithWorkers goroutines (default all CPUs) with one
+// determinism contract: every RNG stream is derived from the WithSeed
+// base seed, so the result is bit-identical for every worker count.
+// Cancelling ctx aborts the search at trial/scan-chunk granularity,
+// joins every probe goroutine, and returns ctx.Err(); option validation
+// failures return an error wrapping ErrBadConfig before any work
+// starts. A nil ctx never cancels.
+func Obfuscate(ctx context.Context, g *Graph, opts ...Option) (*ObfuscationResult, error) {
+	s, err := newSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	p := s.obfuscationParams()
+	// Re-validate the merged params: k and eps may arrive through the
+	// WithObfuscation bulk struct (or not at all), bypassing WithK and
+	// WithEps — the ErrBadConfig contract must hold either way.
+	if err := validateKEps(p.K, p.Eps); err != nil {
+		return nil, err
+	}
+	return core.Obfuscate(ctx, g, p)
+}
+
+// ObfuscateWithParams is the v1 form of Obfuscate: no cancellation, all
+// configuration through the params struct (including the legacy Rng
+// seed source).
+//
+// Deprecated: use Obfuscate(ctx, g, opts...). This wrapper remains for
+// one release of compatibility.
+func ObfuscateWithParams(g *Graph, params ObfuscationParams) (*ObfuscationResult, error) {
+	return core.Obfuscate(context.Background(), g, params)
 }
 
 // VerifyObfuscation independently checks whether the uncertain graph
@@ -51,5 +89,10 @@ func ObfuscationLevels(ug *UncertainGraph, originalDegrees []int) []float64 {
 }
 
 // NewRand returns a reproducible random source for the package's
-// randomized APIs.
-func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// remaining *rand.Rand-taking primitives (graph generators,
+// SampleWorld, the perturbation baselines).
+//
+// Deprecated: the context-first entry points take WithSeed instead of a
+// generator; NewRand remains for the primitives above and for one
+// release of compatibility.
+func NewRand(seed int64) *rand.Rand { return randx.New(seed) }

@@ -9,6 +9,7 @@
 package uncertaingraph_test
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -38,7 +39,7 @@ func benchObfuscate(b *testing.B, workers int) {
 	g := parallelBenchGraph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Obfuscate(g, core.Params{
+		res, err := core.Obfuscate(context.Background(), g, core.Params{
 			K: 10, Eps: 0.05, Trials: 5, Delta: 1e-4,
 			Workers: workers, Seed: 7,
 		})
@@ -69,7 +70,7 @@ func TestObfuscateBenchConfigEquivalence(t *testing.T) {
 	}
 	g := parallelBenchGraph()
 	run := func(workers int) *core.Result {
-		res, err := core.Obfuscate(g, core.Params{
+		res, err := core.Obfuscate(context.Background(), g, core.Params{
 			K: 10, Eps: 0.05, Trials: 5, Delta: 1e-4,
 			Workers: workers, Seed: 7,
 		})

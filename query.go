@@ -7,13 +7,14 @@ import (
 )
 
 // QueryEngine answers analytical queries over a published uncertain
-// graph by possible-world Monte Carlo with Hoeffding-bounded sample
-// sizes: two-terminal reliability, distance distributions, median
-// distances and median-distance k-nearest-neighbours — the consumption
-// side of the paper's proposal. Every median follows the count rule
-// shared with k-NN ranking (cumulative world count >= ceil(r/2),
-// disconnection bucket last), so the two APIs cannot disagree about a
-// pair's median on the same worlds.
+// graph one query at a time. It is a documented shim over QueryBatch:
+// every method registers a single query on a reusable batch and runs
+// it without cancellation, deriving a fresh decorrelated world stream
+// per call.
+//
+// Deprecated: use QueryBatch (NewQueryBatch + Run(ctx)) — it shares
+// worlds and BFS trees across queries and supports request-scoped
+// cancellation. QueryEngine remains for one release of compatibility.
 type QueryEngine = query.Engine
 
 // NewQueryEngine returns an engine over g sampling the given number of
@@ -21,6 +22,9 @@ type QueryEngine = query.Engine
 // confidence on probability estimates). With a nil rng the engine
 // derives a reproducible, decorrelated world stream per query from its
 // Seed field; an explicit rng seeds each query by one Int63 draw.
+//
+// Deprecated: use NewQueryBatch. NewQueryEngine remains for one
+// release of compatibility.
 func NewQueryEngine(g *UncertainGraph, worlds int, rng *rand.Rand) *QueryEngine {
 	return &query.Engine{G: g, Worlds: worlds, Rng: rng}
 }
@@ -29,21 +33,45 @@ func NewQueryEngine(g *UncertainGraph, worlds int, rng *rand.Rand) *QueryEngine 
 // worlds: each world is materialized once, one BFS runs per distinct
 // query source per world, and the steady-state world loop performs
 // zero heap allocations. This is the serving path behind cmd/queryd;
-// results are bit-identical for every Workers value.
+// results are bit-identical for every Workers value, and Run takes the
+// request's context so a dropped client stops the work mid-flight.
 type QueryBatch = query.Batch
 
 // QueryConfig tunes a QueryBatch: Worlds (0 selects the Hoeffding
-// default), Seed, and Workers (<= 0 selects GOMAXPROCS).
+// default), Seed, Workers (<= 0 selects GOMAXPROCS) and Progress.
 type QueryConfig = query.Config
 
 // QueryNeighbor is one ranked k-NN result: a vertex and its count-rule
 // median distance from the query source.
 type QueryNeighbor = query.Neighbor
 
-// NewQueryBatch returns an empty batch of queries over g. Register
-// queries with AddReliability/AddDistance/AddKNearest, call Run, then
-// read results by query id; Reset reuses every buffer for the next
-// request.
-func NewQueryBatch(g *UncertainGraph, cfg QueryConfig) *QueryBatch {
+// NewQueryBatch returns an empty batch of queries over g, configured by
+// the shared options (WithWorlds, WithSeed, WithWorkers, WithProgress).
+// Register queries with AddReliability/AddDistance/AddKNearest, call
+// Run(ctx), then read results by query id; Reset reuses every buffer
+// for the next request.
+//
+//	b, err := uncertaingraph.NewQueryBatch(g,
+//	    uncertaingraph.WithWorlds(1000), uncertaingraph.WithSeed(7))
+//	rel := b.AddReliability(0, 5)
+//	if err := b.Run(ctx); err != nil { ... }
+//	p := b.Reliability(rel)
+//
+// Option validation failures return an error wrapping ErrBadConfig.
+func NewQueryBatch(g *UncertainGraph, opts ...Option) (*QueryBatch, error) {
+	s, err := newSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	return query.NewBatch(g, s.queryConfig()), nil
+}
+
+// NewQueryBatchWithConfig is the v1 form of NewQueryBatch: all
+// configuration through the config struct. Run the returned batch with
+// Run(ctx) (or the deprecated MustRun).
+//
+// Deprecated: use NewQueryBatch(g, opts...). This wrapper remains for
+// one release of compatibility.
+func NewQueryBatchWithConfig(g *UncertainGraph, cfg QueryConfig) *QueryBatch {
 	return query.NewBatch(g, cfg)
 }

@@ -7,6 +7,7 @@
 package uncertaingraph_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -35,7 +36,7 @@ func TestRaceConcurrentObfuscateTrials(t *testing.T) {
 			defer wg.Done()
 			// Workers > 1 turns on both concurrent trials and speculative
 			// σ probing, even when the host has a single CPU.
-			res, err := core.Obfuscate(g, core.Params{
+			res, err := core.Obfuscate(context.Background(), g, core.Params{
 				K: 3, Eps: 0.15, Trials: 3, Delta: 1e-3, Workers: 4, Seed: 5,
 			})
 			if err != nil {
@@ -170,9 +171,13 @@ func TestRaceParallelScans(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		// sampling.Run materializes and scores worlds in parallel.
-		rep := sampling.Run(att.G, sampling.Config{
+		rep, err := sampling.Run(context.Background(), att.G, sampling.Config{
 			Worlds: 4, Seed: 5, Distances: sampling.DistanceExactBFS,
 		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		if len(rep.Samples["S_NE"]) != 4 {
 			t.Error("sampling run lost worlds")
 		}

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 
 	ug "uncertaingraph"
@@ -264,6 +265,21 @@ func TestSmokeQueryd(t *testing.T) {
 	if second := post(); second != first {
 		t.Errorf("identical batch requests answered differently:\n%s\nvs\n%s", first, second)
 	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0 (a supervisor's stop
+	// is not an error), printing the shutdown breadcrumbs.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var rest strings.Builder
+	for sc.Scan() {
+		rest.WriteString(sc.Text())
+		rest.WriteString("\n")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("queryd exited non-zero after SIGTERM: %v", err)
+	}
+	wantLines(t, rest.String(), "queryd: shutting down", "queryd: shutdown complete")
 }
 
 func TestSmokeExperiments(t *testing.T) {

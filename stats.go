@@ -1,6 +1,8 @@
 package uncertaingraph
 
 import (
+	"context"
+
 	"uncertaingraph/internal/anf"
 	"uncertaingraph/internal/bfs"
 	"uncertaingraph/internal/sampling"
@@ -12,12 +14,20 @@ import (
 // S_EDiam, S_CL, S_CC.
 var StatNames = sampling.StatNames
 
-// EstimateConfig tunes statistic estimation on uncertain graphs.
+// EstimateConfig tunes statistic estimation on uncertain graphs. New
+// code passes the estimation knobs via WithEstimate (plus WithWorlds,
+// WithSeed, WithWorkers, WithDistances); the struct remains the
+// exchange format between the two layers.
 type EstimateConfig = sampling.Config
 
 // EstimateReport aggregates per-world statistic samples: means,
 // relative SEMs and relative errors.
 type EstimateReport = sampling.Report
+
+// DistanceMethod selects how per-world distance distributions are
+// computed (see the estimator constants below); pass it via
+// WithDistances.
+type DistanceMethod = sampling.DistanceMethod
 
 // Distance estimators for the distance-based statistics.
 const (
@@ -31,14 +41,60 @@ const (
 )
 
 // Statistics evaluates the ten paper statistics on a certain graph.
-func Statistics(g *Graph, cfg EstimateConfig) map[string]float64 {
+// Cancellation is coarse: ctx is checked on entry (a single graph's
+// evaluation is one unit of work); option validation failures return
+// an error wrapping ErrBadConfig.
+func Statistics(ctx context.Context, g *Graph, opts ...Option) (map[string]float64, error) {
+	s, err := newSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	cfg := s.estimateConfig(StageEstimate)
+	return sampling.ScalarsOf(g, cfg, cfg.Seed), nil
+}
+
+// StatisticsWithConfig is the v1 form of Statistics: no cancellation,
+// all configuration through the config struct.
+//
+// Deprecated: use Statistics(ctx, g, opts...). This wrapper remains for
+// one release of compatibility.
+func StatisticsWithConfig(g *Graph, cfg EstimateConfig) map[string]float64 {
 	return sampling.ScalarsOf(g, cfg, cfg.Seed)
 }
 
 // EstimateStatistics samples possible worlds of an uncertain graph and
 // returns the aggregated statistic report (paper Section 6.1).
-func EstimateStatistics(ug *UncertainGraph, cfg EstimateConfig) *EstimateReport {
-	return sampling.Run(ug, cfg)
+//
+//	rep, err := uncertaingraph.EstimateStatistics(ctx, pub,
+//	    uncertaingraph.WithWorlds(100), uncertaingraph.WithSeed(7))
+//
+// Worlds are evaluated on WithWorkers goroutines under the shared
+// determinism contract: world i's RNG stream derives from (seed, i)
+// alone, so the report is bit-identical for every worker count.
+// Cancelling ctx aborts between worlds, joins every worker, and
+// returns ctx.Err() with no partial report; option validation failures
+// return an error wrapping ErrBadConfig. A nil ctx never cancels.
+func EstimateStatistics(ctx context.Context, ug *UncertainGraph, opts ...Option) (*EstimateReport, error) {
+	s, err := newSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.Run(ctx, ug, s.estimateConfig(StageEstimate))
+}
+
+// EstimateStatisticsWithConfig is the v1 form of EstimateStatistics: no
+// cancellation, all configuration through the config struct.
+//
+// Deprecated: use EstimateStatistics(ctx, ug, opts...). This wrapper
+// remains for one release of compatibility.
+func EstimateStatisticsWithConfig(ug *UncertainGraph, cfg EstimateConfig) *EstimateReport {
+	rep, _ := sampling.Run(context.Background(), ug, cfg)
+	return rep
 }
 
 // DistanceDistribution is the S_PDD shape shared by the exact and

@@ -28,6 +28,11 @@ func CertainGraph(g *Graph) *UncertainGraph { return uncertain.FromCertain(g) }
 // materializes independently with its probability (paper Eq. 1). The
 // result is an independent graph; loops over many worlds should hold a
 // WorldSampler instead.
+//
+// SampleWorld is a single-draw primitive and deliberately keeps its
+// *rand.Rand parameter (seed it via NewRand); the long-running world
+// loops — EstimateStatistics, QueryBatch — are the context-first,
+// WithSeed-configured entry points of the v2 API.
 func SampleWorld(g *UncertainGraph, rng *rand.Rand) *Graph { return g.SampleWorld(rng) }
 
 // WorldSampler materializes possible worlds into preallocated CSR
