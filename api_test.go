@@ -3,6 +3,7 @@ package uncertaingraph_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -182,6 +183,17 @@ func TestQueryBatchFacade(t *testing.T) {
 	want := []ug.QueryNeighbor{{V: 1, Median: 1}, {V: 2, Median: 2}}
 	if got := b.KNearestWithMedians(knn); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
 		t.Errorf("KNearestWithMedians = %v, want %v", got, want)
+	}
+
+	// WithMemoryBudget: a k-NN set priced over the budget fails Run
+	// with the typed ErrOverBudget before any accumulator grows.
+	tight, err := ug.NewQueryBatch(g, ug.WithWorlds(50), ug.WithMemoryBudget(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight.AddKNearest(0, 2)
+	if err := tight.Run(context.Background()); !errors.Is(err, ug.ErrOverBudget) {
+		t.Errorf("over-budget Run err = %v, want ErrOverBudget", err)
 	}
 }
 

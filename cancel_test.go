@@ -177,6 +177,66 @@ func TestCancellationPropagates(t *testing.T) {
 		}
 	})
 
+	t.Run("batch-early-exit-rerun-bit-identical", func(t *testing.T) {
+		// Same contract as batch-rerun-bit-identical, but every source
+		// carries only reliability/distance queries, so each per-world
+		// BFS takes the target-resolved early-exit path: a cancel
+		// between worlds must leave the batch re-runnable and the
+		// re-run bit-identical to a never-cancelled reference.
+		pub := ug.CertainGraph(g)
+		newBatch := func() *ug.QueryBatch {
+			b, err := ug.NewQueryBatch(pub,
+				ug.WithWorlds(300), ug.WithSeed(13), ug.WithWorkers(4),
+				ug.WithMemoryBudget(1<<20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		addQueries := func(b *ug.QueryBatch) (int, int, int) {
+			return b.AddReliability(1, 250), b.AddReliability(5, 700), b.AddDistance(2, 300)
+		}
+
+		ref := newBatch()
+		relID, rel2ID, distID := addQueries(ref)
+		if err := ref.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		wantRel := ref.Reliability(relID)
+		wantRel2 := ref.Reliability(rel2ID)
+		wantMed := ref.MedianDistance(distID)
+
+		base := runtime.NumGoroutine()
+		b := newBatch()
+		r2, r3, d2 := addQueries(b)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		b.Progress = func(done, total int) {
+			if done == 1 {
+				cancel()
+			}
+		}
+		if err := b.Run(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Run err = %v, want context.Canceled", err)
+		}
+		if n := settledGoroutines(base); n > base {
+			t.Errorf("goroutines: %d before, %d after cancellation", base, n)
+		}
+		b.Progress = nil
+		if err := b.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Reliability(r2); got != wantRel {
+			t.Errorf("re-run Reliability #1 = %v, want %v (bit-identical)", got, wantRel)
+		}
+		if got := b.Reliability(r3); got != wantRel2 {
+			t.Errorf("re-run Reliability #2 = %v, want %v", got, wantRel2)
+		}
+		if got := b.MedianDistance(d2); got != wantMed {
+			t.Errorf("re-run MedianDistance = %v, want %v", got, wantMed)
+		}
+	})
+
 	t.Run("batch-pre-cancelled", func(t *testing.T) {
 		pub := ug.CertainGraph(g)
 		b, err := ug.NewQueryBatch(pub, ug.WithWorlds(50))

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	queryd -graph published.ug [-addr :8781] [-worlds 738] [-workers N] [-seed 1]
+//	       [-max-worlds 20000] [-mem-budget 1073741824] [-max-knn-sources 64]
 //
 // Endpoints:
 //
@@ -49,6 +50,8 @@ func main() {
 		addr      = flag.String("addr", ":8781", "listen address (port 0 picks a free port)")
 		worlds    = flag.Int("worlds", 0, "default worlds per request (0 selects the Hoeffding default, 738)")
 		maxWorlds = flag.Int("max-worlds", qserve.DefaultMaxWorlds, "per-request worlds cap")
+		memBudget = flag.Int64("mem-budget", qserve.DefaultMemoryBudget, "per-request worst-case accumulator budget in bytes (over-budget requests get HTTP 413)")
+		maxKNN    = flag.Int("max-knn-sources", qserve.DefaultMaxKNNSources, "per-request cap on distinct k-NN sources")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent world evaluations per request (answers are identical for every value)")
 		seed      = flag.Int64("seed", 1, "base seed for content-derived request streams")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
@@ -69,11 +72,13 @@ func main() {
 	}
 
 	srv := &qserve.Server{
-		G:         g,
-		Worlds:    *worlds,
-		MaxWorlds: *maxWorlds,
-		Workers:   *workers,
-		Seed:      *seed,
+		G:             g,
+		Worlds:        *worlds,
+		MaxWorlds:     *maxWorlds,
+		Workers:       *workers,
+		Seed:          *seed,
+		MemoryBudget:  *memBudget,
+		MaxKNNSources: *maxKNN,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

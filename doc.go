@@ -20,7 +20,9 @@
 //     of published graphs;
 //   - query serving over published graphs (QueryBatch, the engine
 //     behind cmd/queryd): reliability, distance distributions and
-//     median-distance k-NN against one shared world sample.
+//     median-distance k-NN against one shared world sample, with
+//     target-resolved early-exit BFS for reliability/distance-only
+//     sources and a per-request memory budget (WithMemoryBudget).
 //
 // # API v2: context-first entry points
 //
@@ -50,8 +52,17 @@
 // only trades wall-clock time — results are bit-identical for every
 // worker count, every schedule, and every cancellation that does not
 // abort the run. Invalid option values (negative workers, non-positive
-// worlds, k < 1) are rejected with errors wrapping ErrBadConfig rather
-// than silently clamped.
+// worlds, k < 1, negative memory budgets) are rejected with errors
+// wrapping ErrBadConfig rather than silently clamped.
+//
+// WithMemoryBudget bounds a query batch's accumulator memory: Run
+// rejects a query set whose worst-case k-NN histogram footprint
+// (distinct k-NN sources × n² int32 counters × workers) exceeds the
+// budget with an error wrapping ErrOverBudget, and Reset sheds
+// retained high-water buffers above it, so a pooled batch serving
+// mixed traffic keeps bounded memory. qserve applies the same pricing
+// per HTTP request (rejections are 413) plus a distinct-k-NN-source
+// cap.
 //
 // The primary names carry the v2 signatures; each v1 behaviour stays
 // reachable for one release through a thin deprecated wrapper

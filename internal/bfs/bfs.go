@@ -54,7 +54,21 @@ type Scratch struct {
 	dist   []int32
 	queue  []int32
 	counts []float64
+	// mark flags the unresolved targets of a FromSourceTargetsInto
+	// walk. It is all-false between calls: each call marks exactly its
+	// targets and unmarks them before returning, so no O(n) clear is
+	// ever needed.
+	mark []bool
+	// visited records how many vertices the most recent FromSourceInto
+	// or FromSourceTargetsInto walk enqueued (including the source).
+	visited int
 }
+
+// Visited returns the number of vertices the most recent FromSourceInto
+// or FromSourceTargetsInto walk on s enqueued, source included. It
+// exists so tests can assert that a target-resolved walk genuinely
+// pruned its component scan.
+func (s *Scratch) Visited() int { return s.visited }
 
 // NewScratch returns an empty scratch; buffers grow on first use.
 func NewScratch() *Scratch { return &Scratch{} }
@@ -92,6 +106,64 @@ func (s *Scratch) FromSourceInto(g *graph.Graph, src int) []int32 {
 			}
 		}
 	}
+	s.visited = len(queue)
+	s.queue = queue[:0]
+	return dist
+}
+
+// FromSourceTargetsInto is FromSourceInto restricted to a target set:
+// the walk stops as soon as every vertex in targets has been assigned
+// its distance, so queries over close targets cost a frontier
+// expansion instead of a whole-component scan. Only the entries for
+// src and the targets are meaningful in the returned slice; any other
+// vertex holds -1 or its true distance depending on where the walk
+// stopped. The target entries are bit-identical to a full
+// FromSourceInto walk — BFS assigns final distances at discovery, so
+// stopping after the last target is discovered cannot change them, and
+// a target still -1 when the frontier exhausts is genuinely
+// unreachable. Duplicate targets and targets equal to src are allowed.
+// The slice aliases the scratch and is valid only until the next call
+// on s; warm calls allocate nothing.
+func (s *Scratch) FromSourceTargetsInto(g *graph.Graph, src int, targets []int32) []int32 {
+	n := g.NumVertices()
+	s.ensure(n)
+	if cap(s.mark) < n {
+		s.mark = make([]bool, n)
+	}
+	mark := s.mark[:n]
+	dist := s.dist
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	remaining := 0
+	for _, t := range targets {
+		if int(t) != src && !mark[t] {
+			mark[t] = true
+			remaining++
+		}
+	}
+	queue := append(s.queue[:0], int32(src))
+scan:
+	for head := 0; head < len(queue) && remaining > 0; head++ {
+		u := queue[head]
+		du := dist[u] + 1
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = du
+				queue = append(queue, v)
+				if mark[v] {
+					if remaining--; remaining == 0 {
+						break scan
+					}
+				}
+			}
+		}
+	}
+	for _, t := range targets {
+		mark[t] = false
+	}
+	s.visited = len(queue)
 	s.queue = queue[:0]
 	return dist
 }

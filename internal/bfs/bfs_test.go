@@ -49,6 +49,81 @@ func TestFromSourceIntoMatchesFromSource(t *testing.T) {
 	}
 }
 
+// TestFromSourceTargetsIntoMatchesFull pins the early-exit contract:
+// for every registered target the distance is bit-identical to the
+// full walk, across reachable targets, unreachable targets, duplicate
+// targets and targets equal to the source.
+func TestFromSourceTargetsIntoMatchesFull(t *testing.T) {
+	g := gen.HolmeKim(randx.New(6), 300, 3, 0.3)
+	s := NewScratch()
+	full := NewScratch()
+	rng := randx.New(99)
+	for _, src := range []int{0, 7, 150, 299} {
+		want := append([]int32(nil), full.FromSourceInto(g, src)...)
+		for trial := 0; trial < 20; trial++ {
+			targets := make([]int32, 1+rng.Intn(6))
+			for i := range targets {
+				targets[i] = int32(rng.Intn(300))
+			}
+			if trial%5 == 0 {
+				targets = append(targets, int32(src), targets[0]) // src + duplicate
+			}
+			got := s.FromSourceTargetsInto(g, src, targets)
+			for _, tv := range targets {
+				if got[tv] != want[tv] {
+					t.Fatalf("src %d targets %v: dist[%d] = %d, want %d", src, targets, tv, got[tv], want[tv])
+				}
+			}
+		}
+	}
+	// A component-disconnected target exhausts the walk and stays -1,
+	// and a target list containing only the source terminates at once.
+	g2 := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	d := s.FromSourceTargetsInto(g2, 0, []int32{1, 3})
+	if d[0] != 0 || d[1] != 1 || d[3] != -1 {
+		t.Errorf("disconnected walk: got [%d %d _ %d], want [0 1 _ -1]", d[0], d[1], d[3])
+	}
+	d = s.FromSourceTargetsInto(g2, 2, []int32{2, 2})
+	if d[2] != 0 {
+		t.Errorf("self-target walk: dist[2] = %d, want 0", d[2])
+	}
+}
+
+// TestFromSourceTargetsIntoStopsEarly asserts the exit is real: on a
+// long path with the target next to the source, the walk must leave
+// the far end untouched (-1), which a full BFS would have reached.
+func TestFromSourceTargetsIntoStopsEarly(t *testing.T) {
+	n := 1000
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 1}
+	}
+	g := graph.FromEdges(n, edges)
+	s := NewScratch()
+	d := s.FromSourceTargetsInto(g, 0, []int32{1})
+	if d[1] != 1 {
+		t.Fatalf("dist[1] = %d, want 1", d[1])
+	}
+	if d[n-1] != -1 {
+		t.Errorf("walk reached the far end (dist[%d] = %d); early exit did not fire", n-1, d[n-1])
+	}
+}
+
+func TestFromSourceTargetsIntoZeroAllocsWhenWarm(t *testing.T) {
+	g := gen.HolmeKim(randx.New(8), 200, 3, 0.3)
+	s := NewScratch()
+	targets := []int32{13, 44, 170}
+	s.FromSourceTargetsInto(g, 0, targets) // grow buffers
+	src := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		s.FromSourceTargetsInto(g, src, targets)
+		src = (src + 17) % 200
+	})
+	if allocs != 0 {
+		t.Errorf("warm FromSourceTargetsInto allocates %v times, want 0", allocs)
+	}
+}
+
 func TestFromSourceIntoZeroAllocsWhenWarm(t *testing.T) {
 	g := gen.HolmeKim(randx.New(8), 200, 3, 0.3)
 	s := NewScratch()

@@ -1,0 +1,91 @@
+package qserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"uncertaingraph/internal/uncertain"
+)
+
+// FuzzBatchRequestJSON drives arbitrary bytes through the POST /batch
+// decoder, validate and (for accepted requests) a full batch run. The
+// invariants: the handler never panics, every response is 200/400/413
+// JSON, and no request body can push the server past its configured
+// resource limits — worlds clamp to MaxWorlds, k-NN sources to
+// MaxKNNSources, and the accumulator worst case to MemoryBudget, so
+// malformed JSON, negative ids and huge k/worlds values can neither
+// crash the server nor make it over-allocate.
+func FuzzBatchRequestJSON(f *testing.F) {
+	for _, seed := range []string{
+		`{"queries":[{"op":"reliability","s":0,"t":4}]}`,
+		`{"worlds":16,"queries":[{"op":"distance","s":0,"t":3},{"op":"knn","s":1,"k":2}]}`,
+		`{"worlds":16,"seed":7,"queries":[{"op":"knn","s":0,"k":3}]}`,
+		`{"queries":[{"op":"knn","s":-1,"k":2}]}`,
+		`{"queries":[{"op":"knn","s":0,"k":-5}]}`,
+		`{"queries":[{"op":"reliability","s":0,"t":-9000000}]}`,
+		`{"queries":[{"op":"knn","s":0,"k":9223372036854775807}]}`,
+		`{"worlds":9223372036854775807,"queries":[{"op":"reliability","s":0,"t":1}]}`,
+		`{"worlds":-3,"queries":[{"op":"reliability","s":0,"t":1}]}`,
+		`{"queries":[{"op":"pagerank","s":0}]}`,
+		`{"queries":[]}`,
+		`{"queries":[{"op":"knn","s":0,"k":2},{"op":"knn","s":1,"k":2},{"op":"knn","s":2,"k":2}]}`,
+		`{"seed":null,"queries":[{"op":"reliability","s":0,"t":1}]}`,
+		`{"unknown_field":1,"queries":[{"op":"reliability","s":0,"t":1}]}`,
+		`{"queries":[{"op":"reliability","s":1e309,"t":1}]}`,
+		`not json at all`,
+		`{"queries":`,
+		`[]`,
+		`{}`,
+		"",
+		`{"queries":[{"op":"reliability","s":0.5,"t":1}]}`,
+	} {
+		f.Add(seed)
+	}
+
+	g, err := uncertain.New(5, []uncertain.Pair{
+		{U: 0, V: 1, P: 0.8}, {U: 1, V: 2, P: 0.8}, {U: 2, V: 3, P: 0.8},
+		{U: 3, V: 4, P: 1},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Tight limits so accepted requests stay cheap and every rejection
+	// path (worlds cap, query cap, k-NN source cap, byte budget) is
+	// reachable by the fuzzer.
+	srv := &Server{
+		G: g, Worlds: 8, MaxWorlds: 32, MaxQueries: 16,
+		Workers: 1, Seed: 1, MemoryBudget: 2 * 5 * 5 * 4, MaxKNNSources: 2,
+	}
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest("POST", "/batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		default:
+			t.Fatalf("unexpected status %d for body %q: %s", rec.Code, body, rec.Body.Bytes())
+		}
+		if rec.Code != http.StatusOK {
+			var e errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("rejection without a JSON error for body %q: %s", body, rec.Body.Bytes())
+			}
+			return
+		}
+		var resp BatchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("accepted request returned non-JSON for body %q: %v", body, err)
+		}
+		if resp.Worlds < 1 || resp.Worlds > 32 {
+			t.Fatalf("served worlds %d escaped the [1, MaxWorlds=32] clamp for body %q", resp.Worlds, body)
+		}
+		if len(resp.Results) == 0 || len(resp.Results) > 16 {
+			t.Fatalf("served %d results outside (0, MaxQueries=16] for body %q", len(resp.Results), body)
+		}
+	})
+}

@@ -16,11 +16,20 @@
 // answers — cache-friendly and replayable — while different requests
 // get decorrelated world streams. A pinned "seed" field overrides the
 // derivation. Responses echo the worlds and seed used.
+//
+// Resource limits: besides the worlds and query-count caps, every
+// request is priced against a memory budget before any buffer grows —
+// distinct k-NN sources dominate (each can fill an n² int32 histogram
+// per worker), so they are capped outright and charged via
+// query.WorstCaseAccumBytes. Over-budget requests get HTTP 413 with an
+// error wrapping query.ErrOverBudget, and pooled batches shed
+// accumulators retained above the same budget on Reset.
 package qserve
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -32,10 +41,19 @@ import (
 	"uncertaingraph/internal/uncertain"
 )
 
-// Default limits bounding the per-request Monte-Carlo cost.
+// Default limits bounding the per-request Monte-Carlo cost and memory
+// footprint.
 const (
 	DefaultMaxWorlds  = 20000
 	DefaultMaxQueries = 1024
+	// DefaultMemoryBudget caps the worst-case per-request accumulator
+	// footprint (k-NN histograms dominate: each distinct k-NN source
+	// can grow n² int32 counters per worker).
+	DefaultMemoryBudget = int64(1) << 30 // 1 GiB
+	// DefaultMaxKNNSources caps the distinct k-NN sources of one
+	// request; each one costs a full-component BFS per world plus its
+	// own histogram, so they are the most expensive query shape.
+	DefaultMaxKNNSources = 64
 )
 
 // Server answers possible-world Monte-Carlo queries over one published
@@ -60,6 +78,15 @@ type Server struct {
 	// Seed is the base seed for the content-derived per-request world
 	// streams.
 	Seed int64
+	// MemoryBudget caps the worst-case accumulator bytes one request
+	// may grow — query.WorstCaseAccumBytes(n, distinct k-NN sources,
+	// workers) — and the bytes a pooled batch retains across requests
+	// (0 selects DefaultMemoryBudget). Over-budget requests are
+	// rejected with HTTP 413 and an error wrapping query.ErrOverBudget.
+	MemoryBudget int64
+	// MaxKNNSources caps the distinct k-NN sources per request (0
+	// selects DefaultMaxKNNSources); the rejection is also 413-typed.
+	MaxKNNSources int
 
 	pool sync.Pool
 }
@@ -120,10 +147,12 @@ type BatchResponse struct {
 }
 
 type healthResponse struct {
-	Vertices      int `json:"vertices"`
-	Pairs         int `json:"pairs"`
-	DefaultWorlds int `json:"default_worlds"`
-	MaxWorlds     int `json:"max_worlds"`
+	Vertices      int   `json:"vertices"`
+	Pairs         int   `json:"pairs"`
+	DefaultWorlds int   `json:"default_worlds"`
+	MaxWorlds     int   `json:"max_worlds"`
+	MemoryBudget  int64 `json:"memory_budget"`
+	MaxKNNSources int   `json:"max_knn_sources"`
 }
 
 type errorResponse struct {
@@ -153,6 +182,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Pairs:         s.G.NumPairs(),
 		DefaultWorlds: s.worlds(0),
 		MaxWorlds:     s.maxWorlds(),
+		MemoryBudget:  s.memoryBudget(),
+		MaxKNNSources: s.maxKNNSources(),
 	})
 }
 
@@ -214,7 +245,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // everything — and no response is written to the dead client.
 func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchRequest) {
 	if err := s.validate(req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// Over-budget requests are a payload-size problem, not a
+		// malformed one: 413 tells a well-behaved client to shrink the
+		// request rather than fix it.
+		status := http.StatusBadRequest
+		if errors.Is(err, query.ErrOverBudget) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
 		return
 	}
 	worlds := s.worlds(req.Worlds)
@@ -236,8 +274,21 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchReq
 	b.Seed = seed
 	b.Workers = s.Workers
 	if err := b.Run(ctx); err != nil {
-		// The client is gone; abandon the answer but keep the buffers.
 		s.pool.Put(b)
+		// The usual cause: the client dropped (or the server is
+		// shutting down) and the request context cancelled — abandon
+		// the answer, nobody is listening.
+		if ctx.Err() != nil {
+			return
+		}
+		// Any other failure must reach the live client — e.g. Run's
+		// own budget check catching a worker-count drift between
+		// validate's pricing and the run (GOMAXPROCS can change).
+		status := http.StatusInternalServerError
+		if errors.Is(err, query.ErrOverBudget) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
 		return
 	}
 
@@ -287,6 +338,7 @@ func (s *Server) validate(req *BatchRequest) error {
 		return fmt.Errorf("negative worlds %d", req.Worlds)
 	}
 	n := s.G.NumVertices()
+	knnSources := make(map[int]struct{})
 	for i, q := range req.Queries {
 		if q.S < 0 || q.S >= n {
 			return fmt.Errorf("query %d: vertex s=%d out of range [0,%d)", i, q.S, n)
@@ -300,9 +352,23 @@ func (s *Server) validate(req *BatchRequest) error {
 			if q.K < 1 {
 				return fmt.Errorf("query %d: k=%d must be positive", i, q.K)
 			}
+			knnSources[q.S] = struct{}{}
 		default:
 			return fmt.Errorf("query %d: unknown op %q", i, q.Op)
 		}
+	}
+	// Memory budget: price the request's worst-case accumulator
+	// footprint before any buffer grows. Distinct k-NN sources dominate
+	// — each can fill an n² int32 histogram per worker — so they are
+	// both capped outright and charged against the byte budget.
+	if max := s.maxKNNSources(); len(knnSources) > max {
+		return fmt.Errorf("%w: %d distinct k-NN sources exceed the per-request cap %d",
+			query.ErrOverBudget, len(knnSources), max)
+	}
+	workers := query.EffectiveWorkers(s.Workers, s.worlds(req.Worlds))
+	if need, budget := query.WorstCaseAccumBytes(n, len(knnSources), workers), s.memoryBudget(); need > budget {
+		return fmt.Errorf("%w: worst case %d bytes (%d k-NN sources × %d² vertices × 4 bytes × %d workers) > budget %d bytes",
+			query.ErrOverBudget, need, len(knnSources), n, workers, budget)
 	}
 	return nil
 }
@@ -338,6 +404,20 @@ func (s *Server) maxQueries() int {
 	return DefaultMaxQueries
 }
 
+func (s *Server) memoryBudget() int64 {
+	if s.MemoryBudget > 0 {
+		return s.MemoryBudget
+	}
+	return DefaultMemoryBudget
+}
+
+func (s *Server) maxKNNSources() int {
+	if s.MaxKNNSources > 0 {
+		return s.MaxKNNSources
+	}
+	return DefaultMaxKNNSources
+}
+
 // requestSeed maps a request to its world-stream seed: the pinned seed
 // when given, otherwise a derivation from the server's base seed and
 // the request content, so identical requests return identical answers.
@@ -354,13 +434,16 @@ func (s *Server) requestSeed(req *BatchRequest, worlds int) int64 {
 }
 
 // acquire returns a reset batch from the pool, or a fresh one when the
-// pool is empty.
+// pool is empty. The server's memory budget is stamped before Reset so
+// a pooled batch sheds high-water accumulators from a previous request
+// right here, and never retains more than the budget across requests.
 func (s *Server) acquire() *query.Batch {
 	if b, ok := s.pool.Get().(*query.Batch); ok {
+		b.MemoryBudget = s.memoryBudget()
 		b.Reset()
 		return b
 	}
-	return query.NewBatch(s.G, query.Config{})
+	return query.NewBatch(s.G, query.Config{MemoryBudget: s.memoryBudget()})
 }
 
 func intParam(r *http.Request, name string) (int, error) {

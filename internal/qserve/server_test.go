@@ -236,6 +236,61 @@ func TestValidationErrors(t *testing.T) {
 	}
 }
 
+// TestOverBudgetKNNRejected is the regression for the memory-budget
+// layer: a k-NN request whose worst-case accumulator footprint exceeds
+// the server's budget is rejected with HTTP 413 and an error wrapping
+// query.ErrOverBudget, while reliability requests (worst case 0 bytes)
+// keep serving under the same budget.
+func TestOverBudgetKNNRejected(t *testing.T) {
+	// 5 vertices, Workers 1: one k-NN source prices at 5*5*4 = 100
+	// bytes, so a 99-byte budget rejects it.
+	srv := &Server{G: testGraph(t), Worlds: 50, Seed: 11, Workers: 1, MemoryBudget: 99}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	status, body := get(t, ts.URL+"/knn?s=0&k=2")
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d (%s), want 413", status, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "memory budget") {
+		t.Errorf("error body %s does not name the memory budget", body)
+	}
+	if status, body := get(t, ts.URL+"/reliability?s=0&t=4"); status != http.StatusOK {
+		t.Errorf("reliability under the same budget: status %d (%s), want 200", status, body)
+	}
+	// Raising the budget by one byte admits the identical request.
+	srv.MemoryBudget = 100
+	if status, body := get(t, ts.URL+"/knn?s=0&k=2"); status != http.StatusOK {
+		t.Errorf("at-budget k-NN: status %d (%s), want 200", status, body)
+	}
+}
+
+// TestKNNSourceCapRejected pins the distinct-source cap: queries
+// naming more distinct k-NN sources than MaxKNNSources get 413;
+// repeats of one source count once.
+func TestKNNSourceCapRejected(t *testing.T) {
+	srv := &Server{G: testGraph(t), Worlds: 50, Seed: 11, MaxKNNSources: 2}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	over := `{"queries":[{"op":"knn","s":0,"k":2},{"op":"knn","s":1,"k":2},{"op":"knn","s":2,"k":2}]}`
+	if status := post(over); status != http.StatusRequestEntityTooLarge {
+		t.Errorf("3 distinct sources: status %d, want 413", status)
+	}
+	dupes := `{"queries":[{"op":"knn","s":0,"k":2},{"op":"knn","s":0,"k":3},{"op":"knn","s":1,"k":2}]}`
+	if status := post(dupes); status != http.StatusOK {
+		t.Errorf("2 distinct sources (one repeated): status %d, want 200", status)
+	}
+}
+
 // TestRequestCancellationStopsRun pins the request-scoped cancellation
 // wiring: a client that drops mid-batch cancels its context, the run
 // aborts with no response written, and the pooled batch stays healthy —

@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -31,6 +32,13 @@ type Config struct {
 	// integer counts, so the merged results are bit-identical for every
 	// value.
 	Workers int
+	// MemoryBudget, when positive, bounds the batch's accumulator
+	// memory in bytes: Run rejects a query set whose worst-case k-NN
+	// histogram footprint exceeds it (see WorstCaseAccumBytes) with a
+	// *BudgetError wrapping ErrOverBudget, and Reset sheds retained
+	// high-water histograms above it so a pooled batch cannot pin one
+	// huge request's buffers forever. Zero disables both checks.
+	MemoryBudget int64
 	// Progress, when non-nil, is invoked after each world completes
 	// with the number of finished worlds and the total. Workers invoke
 	// it concurrently; implementations must be safe for concurrent use
@@ -48,18 +56,28 @@ type Config struct {
 // would spend, and the per-world loop allocates nothing once the
 // buffers have grown (every accumulator is an integer count).
 //
+// Each source's BFS is target-resolved: a source carrying only
+// reliability and distance queries stops its walk as soon as every
+// registered target has been assigned a distance (generalizing the
+// pre-batch connected() early exit), while a source with a k-NN query
+// still scans its whole component — the per-vertex histogram needs
+// every distance. The early exit consumes no randomness and BFS
+// assigns final distances at discovery, so answers are bit-identical
+// to the full-component walk for every Workers value.
+//
 // A Batch is reusable: Reset clears the registered queries while
 // keeping the sampling template, worker buffers and accumulators, so a
 // long-lived server pools Batches across requests. A Batch must not be
 // used concurrently; concurrency lives inside Run (the Workers fan-out)
 // and across independent Batches.
 type Batch struct {
-	// Worlds, Seed, Workers and Progress may be adjusted between Run
-	// calls; see Config for their meaning.
-	Worlds   int
-	Seed     int64
-	Workers  int
-	Progress func(done, total int)
+	// Worlds, Seed, Workers, Progress and MemoryBudget may be adjusted
+	// between Run calls; see Config for their meaning.
+	Worlds       int
+	Seed         int64
+	Workers      int
+	Progress     func(done, total int)
+	MemoryBudget int64
 
 	g *uncertain.Graph
 
@@ -69,7 +87,14 @@ type Batch struct {
 	sources           []int32 // distinct BFS sources, first-appearance order
 	srcIndex          map[int32]int
 	srcQueries        [][]int32 // per source slot: attached rel/dist query ids
+	srcTargets        [][]int32 // per source slot: rel/dist target vertices
 	knnSlots          []int32   // per source slot: shared k-NN histogram slot, -1 if none
+
+	// fullBFS forces every per-world BFS to scan the source's whole
+	// component, disabling the target-resolved early exit. It exists so
+	// tests can pin that early-exit results are bit-identical to the
+	// full reference walk.
+	fullBFS bool
 
 	// Run machinery, lazily built and reused across runs.
 	proto  *uncertain.Sampler
@@ -121,12 +146,13 @@ type worker struct {
 // all per-worker buffers are built lazily on the first Run.
 func NewBatch(g *uncertain.Graph, cfg Config) *Batch {
 	return &Batch{
-		g:        g,
-		Worlds:   cfg.Worlds,
-		Seed:     cfg.Seed,
-		Workers:  cfg.Workers,
-		Progress: cfg.Progress,
-		srcIndex: make(map[int32]int),
+		g:            g,
+		Worlds:       cfg.Worlds,
+		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
+		Progress:     cfg.Progress,
+		MemoryBudget: cfg.MemoryBudget,
+		srcIndex:     make(map[int32]int),
 	}
 }
 
@@ -139,6 +165,11 @@ func (b *Batch) NumQueries() int { return len(b.queries) }
 // Reset clears the registered queries while keeping every buffer, so a
 // serving loop can reuse one Batch across requests without
 // re-allocating accumulators or re-sorting the sampling template.
+// When a MemoryBudget is set and the retained accumulators exceed it —
+// a pooled batch that served one huge k-NN request keeps its
+// high-water histograms otherwise — Reset sheds them back to zero; the
+// sampling template, BFS scratch and O(n) ranking buffers (all bounded
+// by the graph, not the request) are always kept.
 func (b *Batch) Reset() {
 	b.queries = b.queries[:0]
 	b.nrel, b.ndist, b.nknn = 0, 0, 0
@@ -147,10 +178,50 @@ func (b *Batch) Reset() {
 	for i := range b.srcQueries {
 		b.srcQueries[i] = b.srcQueries[i][:0]
 	}
+	for i := range b.srcTargets {
+		b.srcTargets[i] = b.srcTargets[i][:0]
+	}
 	for i := range b.knnSlots {
 		b.knnSlots[i] = -1
 	}
+	if b.MemoryBudget > 0 && b.AccumulatorBytes() > b.MemoryBudget {
+		b.shed()
+	}
 	b.ran = false
+}
+
+// shed drops every request-shaped accumulator — the per-worker
+// reliability/disconnection counters and distance/k-NN histograms,
+// plus the merged views aliasing worker 0's — so a post-shed batch
+// retains zero accumulator bytes. The next Run regrows exactly what
+// its queries need.
+func (b *Batch) shed() {
+	for _, w := range b.ws {
+		w.rel, w.disc = nil, nil
+		w.distH, w.knnH = nil, nil
+	}
+	b.relHits, b.distDisc = nil, nil
+	b.distHist, b.knnHist = nil, nil
+}
+
+// AccumulatorBytes reports the payload bytes currently retained by the
+// batch's per-worker query accumulators — the quantity Reset compares
+// against MemoryBudget.
+func (b *Batch) AccumulatorBytes() int64 {
+	var total int64
+	for _, w := range b.ws {
+		total += int64(cap(w.rel))*8 + int64(cap(w.disc))*8
+		// Count up to the outer capacity: a shrunken run hides its
+		// high-water histograms behind the truncated length, but they
+		// are still retained.
+		for _, h := range w.distH[:cap(w.distH)] {
+			total += int64(cap(h)) * 4
+		}
+		for _, h := range w.knnH[:cap(w.knnH)] {
+			total += int64(cap(h)) * 4
+		}
+	}
+	return total
 }
 
 // AddReliability registers a two-terminal reliability query Pr(s ~ t)
@@ -185,6 +256,13 @@ func (b *Batch) AddKNearest(s, k int) int {
 	if k < 0 {
 		panic(fmt.Sprintf("query: negative k %d", k))
 	}
+	// A k beyond the vertex count returns every candidate anyway; clamp
+	// before the int32 narrowing below, which a huge k (e.g. a JSON
+	// 2^63-1 through qserve) would otherwise wrap negative — knnRank
+	// would slice cands[:-1] and panic.
+	if n := b.g.NumVertices(); k > n {
+		k = n
+	}
 	si := b.sourceSlot(int32(s))
 	slot := b.knnSlots[si]
 	if slot < 0 {
@@ -209,6 +287,7 @@ func (b *Batch) add(q qmeta) int {
 	b.queries = append(b.queries, q)
 	si := b.sourceSlot(q.s)
 	b.srcQueries[si] = append(b.srcQueries[si], int32(id))
+	b.srcTargets[si] = append(b.srcTargets[si], q.t)
 	b.ran = false
 	return id
 }
@@ -224,11 +303,44 @@ func (b *Batch) sourceSlot(s int32) int {
 	if len(b.srcQueries) <= si {
 		b.srcQueries = append(b.srcQueries, nil)
 	}
+	if len(b.srcTargets) <= si {
+		b.srcTargets = append(b.srcTargets, nil)
+	}
 	if len(b.knnSlots) <= si {
 		b.knnSlots = append(b.knnSlots, -1)
 	}
 	b.srcIndex[s] = si
 	return si
+}
+
+// ErrOverBudget reports a query set whose worst-case accumulator
+// footprint exceeds the configured memory budget. Run returns it
+// wrapped in a *BudgetError carrying the exact numbers; test with
+// errors.Is.
+var ErrOverBudget = errors.New("query: worst-case accumulator footprint exceeds the memory budget")
+
+// BudgetError is the typed rejection of an over-budget Run: the
+// registered queries could grow NeedBytes of accumulators, above the
+// batch's BudgetBytes. It unwraps to ErrOverBudget.
+type BudgetError struct {
+	NeedBytes, BudgetBytes int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("%v: worst case %d bytes > budget %d bytes", ErrOverBudget, e.NeedBytes, e.BudgetBytes)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrOverBudget }
+
+// WorstCaseAccumBytes bounds the accumulator memory a query set can
+// grow on an n-vertex graph: each distinct k-NN source fills one
+// d-major histogram of (maxDist+1)·n int32 counters per worker, and
+// maxDist+1 <= n, so knnSources × n² × 4 bytes × workers dominates.
+// (Reliability and distance accumulators are O(1) and O(n) int32 per
+// query — bounded by the query count, not worth budgeting.) qserve's
+// validate and Batch.Run both price requests with this bound.
+func WorstCaseAccumBytes(n, knnSources, workers int) int64 {
+	return int64(knnSources) * int64(workers) * int64(n) * int64(n) * 4
 }
 
 // DefaultWorlds returns the Hoeffding sample size used when Worlds is
@@ -243,13 +355,20 @@ func (b *Batch) worlds() int {
 	return DefaultWorlds()
 }
 
-func (b *Batch) workerCount(jobs int) int {
-	w := b.Workers
+func (b *Batch) workerCount(jobs int) int { return EffectiveWorkers(b.Workers, jobs) }
+
+// EffectiveWorkers resolves a configured worker bound against a world
+// count: <= 0 selects GOMAXPROCS, and a run never uses more workers
+// than worlds. Batch.Run and qserve's request pricing share this one
+// clamp, so the worker factor validate charges against the memory
+// budget is the count Run will actually use.
+func EffectiveWorkers(configured, worlds int) int {
+	w := configured
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > jobs {
-		w = jobs
+	if w > worlds {
+		w = worlds
 	}
 	if w < 1 {
 		w = 1
@@ -282,6 +401,11 @@ func (b *Batch) Run(ctx context.Context) error {
 	b.ran = false
 	r := b.worlds()
 	workers := b.workerCount(r)
+	if b.MemoryBudget > 0 {
+		if need := WorstCaseAccumBytes(b.g.NumVertices(), b.nknn, workers); need > b.MemoryBudget {
+			return &BudgetError{NeedBytes: need, BudgetBytes: b.MemoryBudget}
+		}
+	}
 	b.prepare(workers, r)
 	if workers == 1 {
 		// The serving hot path: kept closure- and channel-free (worker
@@ -419,7 +543,16 @@ func (b *Batch) scanWorld(w *worker, i int) {
 	world := w.sampler.Sample(w.rng)
 	n := world.NumVertices()
 	for si, s := range b.sources {
-		dist := w.scratch.FromSourceInto(world, int(s))
+		// A source whose queries all name explicit targets stops its
+		// BFS once the last target resolves; a k-NN source needs every
+		// component distance, so it runs the full walk. Both walks
+		// agree bit-for-bit on every registered target.
+		var dist []int32
+		if b.knnSlots[si] >= 0 || b.fullBFS {
+			dist = w.scratch.FromSourceInto(world, int(s))
+		} else {
+			dist = w.scratch.FromSourceTargetsInto(world, int(s), b.srcTargets[si])
+		}
 		for _, id := range b.srcQueries[si] {
 			q := &b.queries[id]
 			switch q.kind {

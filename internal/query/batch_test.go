@@ -173,9 +173,14 @@ type batchResults struct {
 }
 
 func runDblpBatch(g *uncertain.Graph, workers int) batchResults {
+	return runDblpBatchBFS(g, workers, false)
+}
+
+func runDblpBatchBFS(g *uncertain.Graph, workers int, fullBFS bool) batchResults {
 	pairs := [][2]int{{0, 13}, {7, 200}, {99, 100}, {250, 251}, {3, 565}}
 	sources := []struct{ s, k int }{{0, 5}, {42, 8}, {123, 3}}
 	b := NewBatch(g, Config{Worlds: 40, Seed: 17, Workers: workers})
+	b.fullBFS = fullBFS
 	var relIDs, distIDs, knnIDs []int
 	for _, p := range pairs {
 		relIDs = append(relIDs, b.AddReliability(p[0], p[1]))
@@ -201,14 +206,22 @@ func runDblpBatch(g *uncertain.Graph, workers int) batchResults {
 
 // TestBatchWorkerCountBitIdentity checks, in the style of
 // TestRunWorkerCountBitIdentity, that Workers ∈ {1, 4} produce
-// bit-identical query answers on the dblp fixture, and pins the
-// Workers=1 values so the engine cannot silently drift.
+// bit-identical query answers on the dblp fixture — with and without
+// the target-resolved early exit — and pins the Workers=1 values so
+// the engine cannot silently drift.
+// (TestBatchEarlyExitPropertyBitIdentity extends the same property to
+// randomized graphs and query mixes.)
 func TestBatchWorkerCountBitIdentity(t *testing.T) {
 	g := dblpUncertain(t)
 	r1 := runDblpBatch(g, 1)
 	r4 := runDblpBatch(g, 4)
 	if !reflect.DeepEqual(r1, r4) {
 		t.Errorf("Workers=1 and Workers=4 answers differ:\n%+v\nvs\n%+v", r1, r4)
+	}
+	for _, workers := range []int{1, 4} {
+		if full := runDblpBatchBFS(g, workers, true); !reflect.DeepEqual(full, r1) {
+			t.Errorf("Workers=%d full-BFS reference diverged from early-exit answers:\n%+v\nvs\n%+v", workers, full, r1)
+		}
 	}
 
 	wantRel := []float64{0.975, 0, 0.275, 0.1, 0.675}
@@ -336,6 +349,23 @@ func TestBatchShrinkRegrowKeepsBuffers(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("shrink/regrow cycle allocates %v times per request, want 0", allocs)
+	}
+}
+
+// TestAddKNearestHugeK is the regression for the int32 narrowing bug
+// FuzzBatchRequestJSON uncovered: a k near MaxInt64 used to wrap to a
+// negative int32 slot and panic the ranking slice. Oversized k must
+// behave exactly like k = n.
+func TestAddKNearestHugeK(t *testing.T) {
+	g := dblpUncertain(t)
+	huge := NewBatch(g, Config{Worlds: 20, Seed: 3, Workers: 1})
+	hid := huge.AddKNearest(0, int(^uint(0)>>1)) // MaxInt
+	huge.MustRun()
+	all := NewBatch(g, Config{Worlds: 20, Seed: 3, Workers: 1})
+	aid := all.AddKNearest(0, g.NumVertices())
+	all.MustRun()
+	if got, want := huge.KNearest(hid), all.KNearest(aid); !reflect.DeepEqual(got, want) {
+		t.Errorf("huge k diverged from k = n: %d vs %d neighbours", len(got), len(want))
 	}
 }
 

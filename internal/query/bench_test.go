@@ -40,6 +40,56 @@ func BenchmarkBatchQueries(b *testing.B) {
 	_ = knnIDs
 }
 
+// reliabilityOnlyBatch builds the early-exit showcase batch: 8 sources
+// carrying one reliability query each and nothing else, so every
+// per-world BFS may stop at its single target instead of scanning the
+// source's whole component.
+func reliabilityOnlyBatch(b *testing.B, fullBFS bool) *Batch {
+	g := dblpUncertain(b)
+	batch := NewBatch(g, Config{Worlds: 64, Workers: 1})
+	batch.fullBFS = fullBFS
+	for i := 0; i < 8; i++ {
+		batch.AddReliability(17*i, 23*i+31)
+	}
+	const seedCycle = 16
+	for i := 0; i < seedCycle; i++ {
+		batch.Seed = int64(i)
+		batch.MustRun()
+	}
+	return batch
+}
+
+// BenchmarkBatchReliabilityOnly measures the target-resolved early
+// exit on a reliability-only mix (the ROADMAP's "restore the
+// connected() fast path" item): each of the 8 per-world BFS walks
+// stops as soon as its target resolves. Compare against
+// BenchmarkBatchReliabilityOnlyFullBFS — the identical batch with the
+// exit disabled — in BENCH_query.json; the answers are bit-identical.
+func BenchmarkBatchReliabilityOnly(b *testing.B) {
+	batch := reliabilityOnlyBatch(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Seed = int64(i % 16)
+		batch.MustRun()
+		benchSink = batch.Reliability(0)
+	}
+}
+
+// BenchmarkBatchReliabilityOnlyFullBFS is the early-exit contrast
+// case: the same reliability-only mix forced through whole-component
+// walks, i.e. the pre-early-exit engine.
+func BenchmarkBatchReliabilityOnlyFullBFS(b *testing.B) {
+	batch := reliabilityOnlyBatch(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Seed = int64(i % 16)
+		batch.MustRun()
+		benchSink = batch.Reliability(0)
+	}
+}
+
 // BenchmarkSingleQueries is the contrast case: the same 24 queries
 // served one at a time through the one-shot Engine layer, each call
 // sampling its own 64 worlds. The gap against BenchmarkBatchQueries is

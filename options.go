@@ -56,6 +56,7 @@ type settings struct {
 	workersSet bool
 	worlds     int
 	worldsSet  bool
+	memBudget  int64
 	progress   func(Progress)
 
 	k            float64
@@ -124,6 +125,25 @@ func WithWorlds(r int) Option {
 		}
 		s.worlds = r
 		s.worldsSet = true
+		return nil
+	}
+}
+
+// WithMemoryBudget bounds the accumulator memory of a query batch
+// (NewQueryBatch) in bytes. Run rejects a query set whose worst-case
+// k-NN histogram footprint — distinct k-NN sources × n² int32 counters
+// × workers — exceeds the budget, returning an error for which
+// errors.Is(err, ErrOverBudget) is true, and Reset sheds retained
+// high-water buffers above the budget so a pooled batch cannot pin one
+// huge request's memory forever. Zero (the default) disables both
+// checks; negative budgets are rejected with ErrBadConfig. Other entry
+// points ignore the option.
+func WithMemoryBudget(bytes int64) Option {
+	return func(s *settings) error {
+		if bytes < 0 {
+			return badConfig("memory budget %d must be >= 0 (0 disables the budget)", bytes)
+		}
+		s.memBudget = bytes
 		return nil
 	}
 }
@@ -308,9 +328,10 @@ func (s *settings) estimateConfig(stage string) EstimateConfig {
 // struct.
 func (s *settings) queryConfig() QueryConfig {
 	return QueryConfig{
-		Worlds:   s.worlds,
-		Seed:     s.seed,
-		Workers:  s.workers,
-		Progress: stageProgress(s.progress, StageQuery),
+		Worlds:       s.worlds,
+		Seed:         s.seed,
+		Workers:      s.workers,
+		MemoryBudget: s.memBudget,
+		Progress:     stageProgress(s.progress, StageQuery),
 	}
 }

@@ -36,6 +36,13 @@ func TestErrBadConfig(t *testing.T) {
 			}
 			return err
 		}()},
+		{"negative memory budget", func() error {
+			b, err := ug.NewQueryBatch(pub, ug.WithMemoryBudget(-1))
+			if b != nil {
+				t.Error("NewQueryBatch returned a batch alongside the error")
+			}
+			return err
+		}()},
 		{"k below one", func() error {
 			_, err := ug.Obfuscate(ctx, g, ug.WithK(0.5), ug.WithEps(0.3))
 			return err

@@ -38,15 +38,23 @@ func NewQueryEngine(g *UncertainGraph, worlds int, rng *rand.Rand) *QueryEngine 
 type QueryBatch = query.Batch
 
 // QueryConfig tunes a QueryBatch: Worlds (0 selects the Hoeffding
-// default), Seed, Workers (<= 0 selects GOMAXPROCS) and Progress.
+// default), Seed, Workers (<= 0 selects GOMAXPROCS), MemoryBudget
+// (0 disables the budget) and Progress.
 type QueryConfig = query.Config
+
+// ErrOverBudget is returned by QueryBatch.Run when the registered
+// queries' worst-case accumulator footprint exceeds the batch's
+// WithMemoryBudget bound. The returned error carries the exact need
+// and budget in bytes; test with errors.Is.
+var ErrOverBudget = query.ErrOverBudget
 
 // QueryNeighbor is one ranked k-NN result: a vertex and its count-rule
 // median distance from the query source.
 type QueryNeighbor = query.Neighbor
 
 // NewQueryBatch returns an empty batch of queries over g, configured by
-// the shared options (WithWorlds, WithSeed, WithWorkers, WithProgress).
+// the shared options (WithWorlds, WithSeed, WithWorkers, WithProgress)
+// plus the query-only WithMemoryBudget.
 // Register queries with AddReliability/AddDistance/AddKNearest, call
 // Run(ctx), then read results by query id; Reset reuses every buffer
 // for the next request.
