@@ -71,7 +71,7 @@ bench:
 bench-sampling:
 	@tmp="$$(mktemp)"; \
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkSampleWorlds$$|BenchmarkSampleWorldsNaive$$|BenchmarkEstimateStatistics$$|BenchmarkEstimateStatisticsANF$$' \
+		-bench 'BenchmarkSampleWorlds$$|BenchmarkSampleWorldsNaive$$|BenchmarkEstimateStatistics$$|BenchmarkEstimateStatisticsANF$$|BenchmarkEstimateAdaptive$$' \
 		-benchmem -benchtime 3x ./internal/sampling > "$$tmp" 2>&1; \
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \

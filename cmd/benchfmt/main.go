@@ -32,6 +32,9 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values (e.g. "worlds/op" from
+	// BenchmarkEstimateAdaptive), keyed by their full unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Run is one benchmark session.
@@ -45,8 +48,15 @@ type Run struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchLine splits a result line into name, iteration count and the
+// metric list; metricPair then walks every "<value> <unit>/op" in it.
+// The testing package prints custom ReportMetric units between ns/op
+// and the -benchmem pair, so position-based parsing would drop B/op
+// and allocs/op the moment a benchmark reports one.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+	metricPair = regexp.MustCompile(`([\d.]+)\s+(\S+)/op`)
+)
 
 func main() {
 	label := flag.String("label", "local", "label for this run (e.g. a commit or PR id)")
@@ -78,12 +88,29 @@ func main() {
 		}
 		b := Benchmark{Name: m[1]}
 		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		sawNs := false
+		for _, p := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(p[1], 64)
+			if err != nil {
+				continue
+			}
+			switch p[2] {
+			case "ns":
+				b.NsPerOp = v
+				sawNs = true
+			case "B":
+				b.BytesPerOp = int64(v)
+			case "allocs":
+				b.AllocsPerOp = int64(v)
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[p[2]+"/op"] = v
+			}
 		}
-		if m[5] != "" {
-			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		if !sawNs {
+			continue
 		}
 		run.Benchmarks = append(run.Benchmarks, b)
 	}

@@ -6,7 +6,14 @@
 // Usage:
 //
 //	evaluate -uncertain published.ug -worlds 100 -ref original.edges
+//	evaluate -uncertain published.ug -tolerance 0.05 -max-worlds 2000
 //	evaluate -graph original.edges
+//
+// With -tolerance the sampling run is adaptive: it stops at the first
+// block boundary where every statistic's relative SEM is inside the
+// tolerance, up to the -max-worlds (or -worlds) budget. Statistics
+// still outside the tolerance when the budget ran out are marked "!"
+// in the rel.SEM column.
 package main
 
 import (
@@ -31,6 +38,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		exact   = flag.Bool("exact-distances", false, "use exact BFS instead of HyperANF")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent world evaluations (results are identical for every value)")
+		tol     = flag.Float64("tolerance", 0, "adaptive precision: stop sampling once every statistic's relative SEM is at most this (0 disables)")
+		maxW    = flag.Int("max-worlds", 0, "world budget for adaptive runs (0 keeps -worlds as the budget)")
 	)
 	flag.Parse()
 
@@ -48,6 +57,12 @@ func main() {
 	}
 	if *exact {
 		opts = append(opts, ug.WithDistances(ug.DistanceExactBFS))
+	}
+	if *tol > 0 {
+		opts = append(opts, ug.WithTolerance(*tol))
+	}
+	if *maxW > 0 {
+		opts = append(opts, ug.WithMaxWorlds(*maxW))
 	}
 
 	var refStats map[string]float64
@@ -84,9 +99,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *tol > 0 {
+			fmt.Fprintf(os.Stderr, "adaptive: %d worlds used (tolerance %g)\n", rep.WorldsUsed, *tol)
+		}
 		fmt.Fprintln(w, "statistic\tmean\trel.SEM\trel.err")
 		for _, name := range ug.StatNames {
 			fmt.Fprintf(w, "%s\t%.6g\t%.4f", name, rep.Mean(name), rep.RelSEM(name))
+			if rep.Converged != nil && !rep.Converged[name] {
+				fmt.Fprint(w, "!")
+			}
 			if refStats != nil {
 				fmt.Fprintf(w, "\t%.4f", rep.RelErr(name, refStats[name]))
 			} else {

@@ -8,6 +8,7 @@
 //
 //	queryd -graph published.ug [-addr :8781] [-worlds 738] [-workers N] [-seed 1]
 //	       [-max-worlds 20000] [-mem-budget 1073741824] [-max-knn-sources 64]
+//	       [-tolerance 0.05]
 //
 // Endpoints:
 //
@@ -32,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -54,11 +56,15 @@ func main() {
 		maxKNN    = flag.Int("max-knn-sources", qserve.DefaultMaxKNNSources, "per-request cap on distinct k-NN sources")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent world evaluations per request (answers are identical for every value)")
 		seed      = flag.Int64("seed", 1, "base seed for content-derived request streams")
+		tol       = flag.Float64("tolerance", 0, "default adaptive-precision tolerance: requests stop sampling once every query's relative SEM is at most this (0 disables; requests may override via the \"tolerance\" field)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *gin == "" {
 		fatal(fmt.Errorf("need -graph"))
+	}
+	if !(*tol >= 0) || math.IsInf(*tol, 0) {
+		fatal(fmt.Errorf("-tolerance %v must be a finite non-negative number", *tol))
 	}
 
 	f, err := os.Open(*gin)
@@ -77,6 +83,7 @@ func main() {
 		MaxWorlds:     *maxWorlds,
 		Workers:       *workers,
 		Seed:          *seed,
+		Tolerance:     *tol,
 		MemoryBudget:  *memBudget,
 		MaxKNNSources: *maxKNN,
 	}

@@ -15,9 +15,9 @@
 //   - the adversary machinery (ObfuscationLevels, VerifyObfuscation)
 //     shared with the random-perturbation baselines (Sparsify, Perturb)
 //     the paper compares against;
-//   - graph statistics (Statistics, EstimateStatistics) including
-//     HyperANF-based distance distributions, for measuring the utility
-//     of published graphs;
+//   - graph statistics (Statistics, EstimateStatistics, RunVector)
+//     including HyperANF-based distance distributions, for measuring
+//     the utility of published graphs;
 //   - query serving over published graphs (QueryBatch, the engine
 //     behind cmd/queryd): reliability, distance distributions and
 //     median-distance k-NN against one shared world sample, with
@@ -54,6 +54,20 @@
 // abort the run. Invalid option values (negative workers, non-positive
 // worlds, k < 1, negative memory budgets) are rejected with errors
 // wrapping ErrBadConfig rather than silently clamped.
+//
+// WithTolerance(tol) turns fixed-r Monte-Carlo runs adaptive: the
+// estimation pipeline and query batches walk their world budget in
+// fixed blocks and stop at the first block barrier where every
+// statistic's (or query's) relative standard error of the mean is
+// inside tol; WithMaxWorlds caps the adaptive budget. A stopped run
+// is bit-identical to the same-length prefix of an uncancelled
+// fixed-r run, for every worker count — the stopping decision is
+// computed from canonically merged integer counts, so scheduling
+// cannot move it. Report.WorldsUsed and Report.Converged (and
+// Batch.WorldsRun/Batch.Converged) expose what a run spent and which
+// estimates were inside tolerance. k-NN rankings carry no scalar
+// confidence interval, so a batch containing one runs its full
+// budget. See the README's "Adaptive precision" section.
 //
 // WithMemoryBudget bounds a query batch's accumulator memory: Run
 // rejects a query set whose worst-case k-NN histogram footprint

@@ -22,6 +22,25 @@ func TestHoeffdingSampleSize(t *testing.T) {
 	}
 }
 
+func TestHoeffdingSampleSizeTinyEpsOverflowRegression(t *testing.T) {
+	// Regression: for eps small enough the float bound is +Inf, and
+	// int(math.Ceil(+Inf)) is a spec-undefined conversion that produced
+	// -9223372036854775808 on this platform — a negative world count
+	// that flowed into DefaultWorlds-style callers. The size must
+	// saturate at math.MaxInt instead.
+	got := HoeffdingSampleSize(0, 1, 1e-200, 0.5)
+	if got <= 0 {
+		t.Fatalf("HoeffdingSampleSize(0,1,1e-200,0.5) = %d, want a positive (saturated) count", got)
+	}
+	if got != math.MaxInt {
+		t.Errorf("HoeffdingSampleSize(0,1,1e-200,0.5) = %d, want math.MaxInt", got)
+	}
+	// A merely-huge finite bound must also stay positive.
+	if got := HoeffdingSampleSize(0, 1, 1e-12, 0.05); got <= 0 {
+		t.Errorf("HoeffdingSampleSize(0,1,1e-12,0.05) = %d, want > 0", got)
+	}
+}
+
 func TestHoeffdingRoundTrip(t *testing.T) {
 	// Using the computed r, the failure bound must be at most delta.
 	a, b, eps, delta := 0.0, 5.0, 0.2, 0.01
@@ -59,7 +78,57 @@ func TestRelativeSEM(t *testing.T) {
 		t.Errorf("RelativeSEM = %v, want %v", got, want)
 	}
 	if RelativeSEM([]float64{0, 0}) != 0 {
-		t.Error("zero-mean input should yield 0")
+		t.Error("zero-mean zero-spread input should yield 0")
+	}
+}
+
+func TestRelativeSEMZeroMeanNonzeroSpreadRegression(t *testing.T) {
+	// Regression: a zero mean with nonzero spread used to return 0 —
+	// "perfectly converged" — which would make adaptive stopping quit
+	// after one block on any statistic whose samples straddle zero.
+	// The relative error of a zero-mean estimate is unbounded: +Inf.
+	if got := RelativeSEM([]float64{1, -1}); !math.IsInf(got, 1) {
+		t.Fatalf("RelativeSEM({1,-1}) = %v, want +Inf", got)
+	}
+	if got := RelativeSEM([]float64{0, 3, -3, 0}); !math.IsInf(got, 1) {
+		t.Errorf("RelativeSEM({0,3,-3,0}) = %v, want +Inf", got)
+	}
+	// Degenerate cases keep returning 0.
+	if got := RelativeSEM(nil); got != 0 {
+		t.Errorf("RelativeSEM(nil) = %v, want 0", got)
+	}
+	if got := RelativeSEM([]float64{0}); got != 0 {
+		t.Errorf("RelativeSEM({0}) = %v, want 0", got)
+	}
+}
+
+func TestRelativeSEMFromMomentsAgrees(t *testing.T) {
+	for _, xs := range [][]float64{
+		{10, 12, 8, 11, 9},
+		{1, 1, 1, 1},
+		{0.25},
+		{0, 1, 0, 1, 1},
+	} {
+		var sum, sumsq float64
+		for _, x := range xs {
+			sum += x
+			sumsq += x * x
+		}
+		want := RelativeSEM(xs)
+		if got := RelativeSEMFromMoments(sum, sumsq, len(xs)); !almostEq(got, want, 1e-9) {
+			t.Errorf("moments form on %v = %v, want %v", xs, got, want)
+		}
+	}
+	// The zero-mean semantics must match the fixed RelativeSEM: spread
+	// without mean is +Inf, degenerate samples are 0.
+	if got := RelativeSEMFromMoments(0, 2, 2); !math.IsInf(got, 1) {
+		t.Errorf("moments form zero-mean with spread = %v, want +Inf", got)
+	}
+	if got := RelativeSEMFromMoments(0, 0, 3); got != 0 {
+		t.Errorf("moments form degenerate = %v, want 0", got)
+	}
+	if got := RelativeSEMFromMoments(0, 0, 0); got != 0 {
+		t.Errorf("moments form empty = %v, want 0", got)
 	}
 }
 

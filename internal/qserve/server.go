@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -78,6 +79,12 @@ type Server struct {
 	// Seed is the base seed for the content-derived per-request world
 	// streams.
 	Seed int64
+	// Tolerance is the default adaptive-precision tolerance applied to
+	// requests that do not carry their own "tolerance" field: when > 0,
+	// a request's batch stops as soon as every query's relative SEM is
+	// inside it (see query.Config.Tolerance), and the response reports
+	// the worlds actually used. 0 keeps the fixed-worlds behaviour.
+	Tolerance float64
 	// MemoryBudget caps the worst-case accumulator bytes one request
 	// may grow — query.WorstCaseAccumBytes(n, distinct k-NN sources,
 	// workers) — and the bytes a pooled batch retains across requests
@@ -109,8 +116,15 @@ type BatchRequest struct {
 	Worlds int `json:"worlds,omitempty"`
 	// Seed pins the world stream; omitted, it is derived from the
 	// request content.
-	Seed    *int64         `json:"seed,omitempty"`
-	Queries []QueryRequest `json:"queries"`
+	Seed *int64 `json:"seed,omitempty"`
+	// Tolerance overrides the server's adaptive-precision tolerance:
+	// > 0 lets the run stop early once every query's relative SEM is
+	// inside it, an explicit 0 disables adaptive stopping for this
+	// request, omitted inherits the server default. The worlds value
+	// stays the budget — requests are priced against it in validate —
+	// and the response's "worlds" reports how many were actually used.
+	Tolerance *float64       `json:"tolerance,omitempty"`
+	Queries   []QueryRequest `json:"queries"`
 }
 
 // NeighborResult is one ranked k-NN neighbour.
@@ -139,20 +153,34 @@ type QueryResult struct {
 	Neighbors    []NeighborResult `json:"neighbors,omitempty"`
 }
 
-// BatchResponse is the body of every query response.
+// BatchResponse is the body of every query response. Worlds is the
+// number of worlds actually sampled — fewer than the request's budget
+// when an adaptive run converged early.
 type BatchResponse struct {
-	Worlds  int           `json:"worlds"`
-	Seed    int64         `json:"seed"`
-	Results []QueryResult `json:"results"`
+	Worlds int   `json:"worlds"`
+	Seed   int64 `json:"seed"`
+	// Tolerance and Converged are reported for adaptive runs only:
+	// the effective tolerance, and whether every query's relative SEM
+	// was inside it when the run stopped (false means the worlds
+	// budget ran out first, or the batch carried a k-NN query).
+	Tolerance float64       `json:"tolerance,omitempty"`
+	Converged bool          `json:"converged,omitempty"`
+	Results   []QueryResult `json:"results"`
 }
 
 type healthResponse struct {
-	Vertices      int   `json:"vertices"`
-	Pairs         int   `json:"pairs"`
-	DefaultWorlds int   `json:"default_worlds"`
-	MaxWorlds     int   `json:"max_worlds"`
-	MemoryBudget  int64 `json:"memory_budget"`
-	MaxKNNSources int   `json:"max_knn_sources"`
+	Vertices      int `json:"vertices"`
+	Pairs         int `json:"pairs"`
+	DefaultWorlds int `json:"default_worlds"`
+	MaxWorlds     int `json:"max_worlds"`
+	MaxQueries    int `json:"max_queries"`
+	// Workers is the effective per-request worker clamp at the default
+	// world count — what a default-sized request will actually fan out
+	// to after GOMAXPROCS and world-count clamping.
+	Workers       int     `json:"workers"`
+	Tolerance     float64 `json:"tolerance,omitempty"`
+	MemoryBudget  int64   `json:"memory_budget"`
+	MaxKNNSources int     `json:"max_knn_sources"`
 }
 
 type errorResponse struct {
@@ -182,6 +210,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Pairs:         s.G.NumPairs(),
 		DefaultWorlds: s.worlds(0),
 		MaxWorlds:     s.maxWorlds(),
+		MaxQueries:    s.maxQueries(),
+		Workers:       query.EffectiveWorkers(s.Workers, s.worlds(0)),
+		Tolerance:     s.Tolerance,
 		MemoryBudget:  s.memoryBudget(),
 		MaxKNNSources: s.maxKNNSources(),
 	})
@@ -222,6 +253,14 @@ func (s *Server) handleSingle(op string) http.HandlerFunc {
 			}
 			req.Seed = &seed
 		}
+		if v := r.URL.Query().Get("tolerance"); v != "" {
+			tol, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("parameter tolerance: %w", err))
+				return
+			}
+			req.Tolerance = &tol
+		}
 		s.serve(r.Context(), w, &req)
 	}
 }
@@ -257,6 +296,10 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchReq
 	}
 	worlds := s.worlds(req.Worlds)
 	seed := s.requestSeed(req, worlds)
+	tol := s.Tolerance
+	if req.Tolerance != nil {
+		tol = *req.Tolerance
+	}
 
 	b := s.acquire()
 	ids := make([]int, len(req.Queries))
@@ -273,6 +316,9 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchReq
 	b.Worlds = worlds
 	b.Seed = seed
 	b.Workers = s.Workers
+	// Always stamped, never merely defaulted: the batch is pooled, so a
+	// previous request's tolerance must not leak into this one.
+	b.Tolerance = tol
 	if err := b.Run(ctx); err != nil {
 		s.pool.Put(b)
 		// The usual cause: the client dropped (or the server is
@@ -292,7 +338,13 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchReq
 		return
 	}
 
-	resp := BatchResponse{Worlds: worlds, Seed: seed, Results: make([]QueryResult, len(req.Queries))}
+	// Worlds reports what the run actually sampled — bit-identical to a
+	// prefix of the full-budget stream when adaptive stopping kicked in.
+	resp := BatchResponse{Worlds: b.WorldsRun(), Seed: seed, Results: make([]QueryResult, len(req.Queries))}
+	if tol > 0 {
+		resp.Tolerance = tol
+		resp.Converged = b.Converged()
+	}
 	for i, q := range req.Queries {
 		res := QueryResult{Op: q.Op, S: q.S}
 		switch q.Op {
@@ -336,6 +388,14 @@ func (s *Server) validate(req *BatchRequest) error {
 	}
 	if req.Worlds < 0 {
 		return fmt.Errorf("negative worlds %d", req.Worlds)
+	}
+	// Tolerance shapes when a run may stop, not what it may cost: the
+	// memory pricing below stays against the full worlds budget, so a
+	// tolerant request that never converges is still within its quota.
+	if req.Tolerance != nil {
+		if t := *req.Tolerance; t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("tolerance %v must be a finite non-negative number", t)
+		}
 	}
 	n := s.G.NumVertices()
 	knnSources := make(map[int]struct{})
@@ -421,6 +481,10 @@ func (s *Server) maxKNNSources() int {
 // requestSeed maps a request to its world-stream seed: the pinned seed
 // when given, otherwise a derivation from the server's base seed and
 // the request content, so identical requests return identical answers.
+// Tolerance is deliberately excluded from the derivation: an adaptive
+// run is a prefix of the fixed run's world stream, so requests that
+// differ only in tolerance should share one stream — the tighter run
+// extends the looser one rather than resampling.
 func (s *Server) requestSeed(req *BatchRequest, worlds int) int64 {
 	if req.Seed != nil {
 		return *req.Seed

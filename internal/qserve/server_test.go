@@ -63,6 +63,41 @@ func TestHealthz(t *testing.T) {
 	if h.Vertices != 5 || h.Pairs != 4 || h.DefaultWorlds != 400 {
 		t.Errorf("health = %+v", h)
 	}
+	// The caps that 400 a request must be discoverable.
+	if h.MaxQueries != DefaultMaxQueries {
+		t.Errorf("max_queries = %d, want %d", h.MaxQueries, DefaultMaxQueries)
+	}
+	if h.MaxWorlds != DefaultMaxWorlds {
+		t.Errorf("max_worlds = %d, want %d", h.MaxWorlds, DefaultMaxWorlds)
+	}
+	if h.Workers < 1 {
+		t.Errorf("workers = %d, want the effective clamp >= 1", h.Workers)
+	}
+}
+
+func TestHealthzEchoesConfiguredLimits(t *testing.T) {
+	srv := &Server{G: testGraph(t), Worlds: 16, Seed: 11, MaxQueries: 7, Workers: 3, Tolerance: 0.25}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	status, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxQueries != 7 {
+		t.Errorf("max_queries = %d, want 7", h.MaxQueries)
+	}
+	// Workers is the effective clamp, not the raw setting: 3 workers
+	// over 16 default worlds stays 3.
+	if h.Workers != 3 {
+		t.Errorf("workers = %d, want 3", h.Workers)
+	}
+	if h.Tolerance != 0.25 {
+		t.Errorf("tolerance = %v, want 0.25", h.Tolerance)
+	}
 }
 
 func TestReliabilityEndpoint(t *testing.T) {
@@ -198,6 +233,69 @@ func TestBatchEndpointAndDeterminism(t *testing.T) {
 	}
 }
 
+// TestBatchAdaptiveTolerance exercises the request-level tolerance:
+// an adaptive run stops short of its worlds budget, reports the worlds
+// actually used, and answers bit-identically to a fixed run of exactly
+// that prefix length on the same pinned seed.
+func TestBatchAdaptiveTolerance(t *testing.T) {
+	ts := testServer(t)
+	post := func(reqBody string) BatchResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(body, &br); err != nil {
+			t.Fatal(err)
+		}
+		return br
+	}
+
+	adaptive := post(`{"worlds":2000,"seed":123,"tolerance":0.1,"queries":[{"op":"reliability","s":0,"t":1}]}`)
+	if adaptive.Worlds >= 2000 {
+		t.Fatalf("adaptive run used all %d worlds, expected early stop", adaptive.Worlds)
+	}
+	if !adaptive.Converged || adaptive.Tolerance != 0.1 {
+		t.Errorf("adaptive response converged=%v tolerance=%v, want true/0.1", adaptive.Converged, adaptive.Tolerance)
+	}
+
+	// A fixed run of exactly the prefix length on the same seed must
+	// answer bit-identically.
+	fixed := post(fmt.Sprintf(`{"worlds":%d,"seed":123,"queries":[{"op":"reliability","s":0,"t":1}]}`, adaptive.Worlds))
+	if fixed.Worlds != adaptive.Worlds {
+		t.Fatalf("fixed prefix run used %d worlds, want %d", fixed.Worlds, adaptive.Worlds)
+	}
+	if got, want := *fixed.Results[0].Reliability, *adaptive.Results[0].Reliability; got != want {
+		t.Errorf("prefix reliability %v != adaptive %v", got, want)
+	}
+
+	// An explicit zero tolerance disables adaptive stopping even when
+	// the server would otherwise default to one.
+	full := post(`{"worlds":2000,"seed":123,"tolerance":0,"queries":[{"op":"reliability","s":0,"t":1}]}`)
+	if full.Worlds != 2000 {
+		t.Errorf("tolerance 0 run used %d worlds, want the full 2000", full.Worlds)
+	}
+	if full.Converged || full.Tolerance != 0 {
+		t.Errorf("fixed response should not carry adaptive fields: %+v", full)
+	}
+
+	// A batch carrying a k-NN query has no scalar CI and must run its
+	// full budget, reporting converged=false.
+	knn := post(`{"worlds":200,"seed":123,"tolerance":0.1,"queries":[{"op":"knn","s":0,"k":2}]}`)
+	if knn.Worlds != 200 || knn.Converged {
+		t.Errorf("k-NN batch worlds=%d converged=%v, want 200/false", knn.Worlds, knn.Converged)
+	}
+}
+
 func TestValidationErrors(t *testing.T) {
 	ts := testServer(t)
 	cases := []struct {
@@ -209,6 +307,8 @@ func TestValidationErrors(t *testing.T) {
 		{"zero k", "/knn?s=0&k=0"},
 		{"bad int", "/knn?s=abc&k=2"},
 		{"worlds over cap", fmt.Sprintf("/reliability?s=0&t=1&worlds=%d", DefaultMaxWorlds+1)},
+		{"negative tolerance", "/reliability?s=0&t=1&tolerance=-0.1"},
+		{"NaN tolerance", "/reliability?s=0&t=1&tolerance=NaN"},
 	}
 	for _, c := range cases {
 		status, body := get(t, ts.URL+c.url)

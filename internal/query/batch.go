@@ -39,6 +39,16 @@ type Config struct {
 	// high-water histograms above it so a pooled batch cannot pin one
 	// huge request's buffers forever. Zero disables both checks.
 	MemoryBudget int64
+	// Tolerance, when positive, makes Run adaptive: worlds are sampled
+	// in fixed blocks, and the run stops at the first block barrier
+	// where every registered query's relative SEM is at most Tolerance
+	// (Worlds stays the budget the run may stop short of). Reliability
+	// queries converge on their indicator mean, distance queries on the
+	// per-world distance with disconnection mapped to the vertex count
+	// (a finite upper bound on any world distance); k-NN rankings have
+	// no scalar confidence interval, so a batch carrying one never
+	// stops early. Zero disables adaptive stopping entirely.
+	Tolerance float64
 	// Progress, when non-nil, is invoked after each world completes
 	// with the number of finished worlds and the total. Workers invoke
 	// it concurrently; implementations must be safe for concurrent use
@@ -71,13 +81,14 @@ type Config struct {
 // used concurrently; concurrency lives inside Run (the Workers fan-out)
 // and across independent Batches.
 type Batch struct {
-	// Worlds, Seed, Workers, Progress and MemoryBudget may be adjusted
-	// between Run calls; see Config for their meaning.
+	// Worlds, Seed, Workers, Progress, MemoryBudget and Tolerance may
+	// be adjusted between Run calls; see Config for their meaning.
 	Worlds       int
 	Seed         int64
 	Workers      int
 	Progress     func(done, total int)
 	MemoryBudget int64
+	Tolerance    float64
 
 	g *uncertain.Graph
 
@@ -108,6 +119,7 @@ type Batch struct {
 	distHist  [][]int32
 	knnHist   [][]int32 // d-major: hist[d*n + v]
 	worldsRun int
+	converged bool
 	ran       bool
 
 	cands []cand // scratch for k-NN ranking
@@ -152,6 +164,7 @@ func NewBatch(g *uncertain.Graph, cfg Config) *Batch {
 		Workers:      cfg.Workers,
 		Progress:     cfg.Progress,
 		MemoryBudget: cfg.MemoryBudget,
+		Tolerance:    cfg.Tolerance,
 		srcIndex:     make(map[int32]int),
 	}
 }
@@ -376,13 +389,30 @@ func EffectiveWorkers(configured, worlds int) int {
 	return w
 }
 
+// adaptiveBlockSize is the number of worlds scanned between the
+// convergence checks of an adaptive (Tolerance > 0) Run. Block
+// boundaries depend only on the configuration, so the schedule — and
+// therefore the stopping point — is deterministic for every Workers
+// value.
+const adaptiveBlockSize = 32
+
 // Run samples the batch's worlds and evaluates every registered query
 // against each, following the same determinism discipline as the
-// sampling pipeline: world seeds are pre-derived from Seed
-// (randx.FillWorldSeeds), each world's contribution depends only on
-// its seed, and all accumulators are integer counts, so results are
-// bit-identical for every Workers value. Run may be called again — the
-// same Seed reproduces the same answers, a new Seed resamples.
+// sampling pipeline: world seeds are pre-derived from Seed for the
+// whole world budget (randx.FillWorldSeeds), each world's contribution
+// depends only on its seed, and all accumulators are integer counts,
+// so results are bit-identical for every Workers value. Run may be
+// called again — the same Seed reproduces the same answers, a new Seed
+// resamples.
+//
+// With Tolerance set, Run is adaptive: worlds are scanned in
+// adaptiveBlockSize blocks, and the run stops at the first block
+// barrier where every registered query's relative SEM is inside the
+// tolerance (see Config.Tolerance for the per-kind rules). The
+// convergence decision is computed from the merged integer counts in a
+// canonical order, so it — and hence WorldsRun — is identical for
+// every Workers value, and a stopped run's accumulators are
+// bit-identical to the same-length prefix of a fixed full-budget run.
 //
 // Cancelling ctx aborts the run at world granularity: no new world is
 // scanned once ctx is done, in-flight worlds finish, every worker
@@ -407,45 +437,150 @@ func (b *Batch) Run(ctx context.Context) error {
 		}
 	}
 	b.prepare(workers, r)
-	if workers == 1 {
-		// The serving hot path: kept closure- and channel-free (worker
-		// fan-out lives in runParallel, whose closures would otherwise
-		// force ctx to escape here) so the steady-state loop performs
-		// zero heap allocations.
-		w := b.ws[0]
-		for i := 0; i < r; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			b.scanWorld(w, i)
-			if b.Progress != nil {
-				b.Progress(i+1, r)
-			}
-		}
-	} else {
-		b.runParallel(ctx, workers, r)
+	adaptive := b.Tolerance > 0
+	block := r
+	if adaptive {
+		block = adaptiveBlockSize
 	}
-	if err := ctx.Err(); err != nil {
-		return err
+	done := 0
+	for done < r {
+		end := done + block
+		if end > r {
+			end = r
+		}
+		if workers == 1 {
+			// The serving hot path: kept closure- and channel-free
+			// (worker fan-out lives in runParallel, whose closures would
+			// otherwise force ctx to escape here) so the steady-state
+			// loop performs zero heap allocations.
+			w := b.ws[0]
+			for i := done; i < end; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				b.scanWorld(w, i)
+				if b.Progress != nil {
+					b.Progress(i+1, r)
+				}
+			}
+		} else {
+			b.runParallel(ctx, workers, done, end, r)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done = end
+		// Never stop on fewer than two worlds: a single sample has no
+		// spread, so every query would spuriously report SEM 0.
+		if adaptive && done >= 2 && done < r && b.allConverged(workers, done) {
+			break
+		}
 	}
 	b.merge(workers)
-	b.worldsRun = r
+	b.worldsRun = done
+	b.converged = adaptive && b.allConverged(1, done)
 	b.ran = true
 	return nil
 }
 
-// runParallel fans the r worlds out over the prepared workers via the
-// shared ctx-aware dispatch loop: cancellation stops dispatch and
-// skips queued worlds, and all worker goroutines have exited when it
-// returns.
-func (b *Batch) runParallel(ctx context.Context, workers, r int) {
+// runParallel fans the worlds [base, end) out over the prepared
+// workers via the shared ctx-aware dispatch loop: cancellation stops
+// dispatch and skips queued worlds, and all worker goroutines have
+// exited when it returns — which is what makes the block boundary a
+// barrier for the adaptive convergence check.
+func (b *Batch) runParallel(ctx context.Context, workers, base, end, total int) {
 	var finished atomic.Int64
-	_ = parallel.ForWorkers(ctx, r, workers, func(k, i int) {
-		b.scanWorld(b.ws[k], i)
+	_ = parallel.ForWorkers(ctx, end-base, workers, func(k, j int) {
+		b.scanWorld(b.ws[k], base+j)
 		if b.Progress != nil {
-			b.Progress(int(finished.Add(1)), r)
+			b.Progress(base+int(finished.Add(1)), total)
 		}
 	})
+}
+
+// allConverged reports whether every registered query's relative SEM
+// over the first done worlds is inside b.Tolerance. It reads the live
+// per-worker accumulators, so it must only run at a block barrier.
+//
+// Determinism: every scalar entering a float is first totalled across
+// workers in exact integer arithmetic, and the float accumulation then
+// walks distances in ascending order — the decision depends only on
+// the merged counts, never on which worker scanned which world, so
+// identical for every Workers value.
+func (b *Batch) allConverged(workers, done int) bool {
+	// A k-NN ranking has no scalar confidence interval to test against
+	// the tolerance; a batch carrying one runs its full budget.
+	if b.nknn > 0 {
+		return false
+	}
+	for slot := 0; slot < b.nrel; slot++ {
+		var hits int64
+		for k := 0; k < workers; k++ {
+			hits += b.ws[k].rel[slot]
+		}
+		// An indicator's moments coincide: Σx = Σx² = the hit count.
+		h := float64(hits)
+		if !(mathx.RelativeSEMFromMoments(h, h, done) <= b.Tolerance) {
+			return false
+		}
+	}
+	n := float64(b.g.NumVertices())
+	for slot := 0; slot < b.ndist; slot++ {
+		var disc int64
+		maxLen := 0
+		for k := 0; k < workers; k++ {
+			w := b.ws[k]
+			disc += w.disc[slot]
+			if l := len(w.distH[slot]); l > maxLen {
+				maxLen = l
+			}
+		}
+		var sum, sumsq float64
+		for d := 0; d < maxLen; d++ {
+			var c int64
+			for k := 0; k < workers; k++ {
+				if h := b.ws[k].distH[slot]; d < len(h) {
+					c += int64(h[d])
+				}
+			}
+			if c == 0 {
+				continue
+			}
+			fd, fc := float64(d), float64(c)
+			sum += fd * fc
+			sumsq += fd * fd * fc
+		}
+		// Disconnections enter as distance n — a finite upper bound on
+		// any world distance, keeping the statistic Hoeffding-bounded.
+		sum += n * float64(disc)
+		sumsq += n * n * float64(disc)
+		if !(mathx.RelativeSEMFromMoments(sum, sumsq, done) <= b.Tolerance) {
+			return false
+		}
+	}
+	return true
+}
+
+// WorldsRun returns the number of worlds the last successful Run
+// sampled: the fixed count, or fewer when Tolerance stopped the run
+// early. It returns 0 before the first Run.
+func (b *Batch) WorldsRun() int {
+	if !b.ran {
+		return 0
+	}
+	return b.worldsRun
+}
+
+// Converged reports whether every registered query's relative SEM was
+// inside Tolerance when the last successful Run stopped — false for
+// fixed runs (Tolerance 0), for adaptive runs that exhausted their
+// world budget short of the tolerance, and for any batch carrying a
+// k-NN query.
+func (b *Batch) Converged() bool {
+	if !b.ran {
+		return false
+	}
+	return b.converged
 }
 
 // MustRun is Run without cancellation, for callers that predate the

@@ -102,3 +102,26 @@ func BenchmarkEstimateStatisticsANF(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEstimateAdaptive measures the adaptive pipeline on the
+// published dblp fixture at the acceptance tolerance 0.05 — an
+// easy-statistic mix where every relative SEM tightens fast — with a
+// 100-world budget (the fixed estimation default). The worlds/op
+// metric records how many worlds the run actually needed; the history
+// in BENCH_sampling.json keeps it next to ns/op so the throughput win
+// over the fixed default stays visible.
+func BenchmarkEstimateAdaptive(b *testing.B) {
+	ug := benchPublished(b)
+	cfg := Config{Seed: 7, Distances: DistanceANF, Tolerance: 0.05, MaxWorlds: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	worlds := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), ug, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worlds = rep.WorldsUsed
+	}
+	b.ReportMetric(float64(worlds), "worlds/op")
+}

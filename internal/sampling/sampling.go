@@ -5,6 +5,13 @@
 // errors against the original graph (Table 4). Hoeffding bounds
 // (Lemma 2 / Corollary 1) are re-exported through mathx.
 //
+// Estimation is adaptive when Config.Tolerance is set: worlds are
+// sampled in fixed-size blocks on a deterministic schedule, and the
+// run stops at the first block barrier where every statistic's
+// relative SEM — the Table 5 machinery, used online — is inside the
+// tolerance, with the world budget as backstop. A stopped run is
+// bit-identical to the same-length prefix of a full fixed-budget run.
+//
 // The r-world loop is the evaluation hot path, and it runs against
 // per-worker buffer pools: each worker owns one uncertain.Sampler
 // (preallocated CSR world buffers), one reseedable RNG, and one
@@ -56,9 +63,15 @@ const (
 	DistanceSampledBFS
 )
 
+// DefaultBlockSize is the number of worlds sampled between the
+// convergence checks of an adaptive run (selected by BlockSize = 0).
+const DefaultBlockSize = 32
+
 // Config tunes the estimation run.
 type Config struct {
 	// Worlds is the number r of sampled possible worlds (paper: 100).
+	// When Tolerance is set it is the world budget an adaptive run may
+	// stop short of (MaxWorlds, when positive, overrides it).
 	Worlds int
 	// Seed makes the run reproducible.
 	Seed int64
@@ -82,6 +95,25 @@ type Config struct {
 	// and must not block for long. Progress observation never affects
 	// results.
 	Progress func(done, total int)
+	// Tolerance, when positive, enables adaptive-precision estimation:
+	// worlds are sampled in BlockSize blocks, and the run stops at the
+	// first block barrier where every statistic's relative SEM
+	// (mathx.RelativeSEM, paper Table 5) is at most Tolerance — easy
+	// statistics stop after a block or two, hard ones run to the world
+	// budget. Zero disables adaptive stopping: the run samples exactly
+	// its fixed world budget, bit-identical to the pre-adaptive Run.
+	Tolerance float64
+	// MaxWorlds, when positive, overrides Worlds as the world budget —
+	// the cap an adaptive run may stop short of. Seeds for the whole
+	// budget are pre-derived up front, so a run stopped at block b is
+	// bit-identical to the first b blocks of an uncancelled full-budget
+	// run, for every Workers value.
+	MaxWorlds int
+	// BlockSize is the number of worlds sampled between convergence
+	// checks of an adaptive run (0 selects DefaultBlockSize). The block
+	// schedule is deterministic: block boundaries depend only on the
+	// configuration, never on timing or the worker count.
+	BlockSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,7 +126,19 @@ func (c Config) withDefaults() Config {
 	if c.EffectiveDiameterQ == 0 {
 		c.EffectiveDiameterQ = 0.9
 	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultBlockSize
+	}
 	return c
+}
+
+// budget resolves the run's world budget: the cap an adaptive run may
+// stop short of, and the exact length of a fixed run.
+func (c Config) budget() int {
+	if c.MaxWorlds > 0 {
+		return c.MaxWorlds
+	}
+	return c.Worlds
 }
 
 func (c Config) workerCount(jobs int) int {
@@ -114,11 +158,22 @@ func (c Config) workerCount(jobs int) int {
 // Report aggregates per-world statistic values.
 type Report struct {
 	// Samples[name][i] is the statistic value on the i-th world, keyed
-	// by StatNames.
+	// by StatNames. Arrays are WorldsUsed long — an adaptive run that
+	// stopped early carries exactly the worlds it sampled.
 	Samples map[string][]float64
 	// ExactNE and ExactAD are the closed-form expectations of S_NE and
 	// S_AD (Section 6.2), available without sampling.
 	ExactNE, ExactAD float64
+	// WorldsUsed is the number of worlds actually sampled: the full
+	// budget for a fixed run, possibly fewer for an adaptive one.
+	WorldsUsed int
+	// Converged[name] reports whether the statistic's relative SEM was
+	// inside the run's Tolerance when sampling stopped. Nil for fixed
+	// runs (Tolerance 0), where no convergence target exists. A
+	// statistic can be unconverged in a completed adaptive run — the
+	// budget ran out first — and callers deciding whether to trust a
+	// mean should check its flag, not just WorldsUsed.
+	Converged map[string]bool
 }
 
 // Mean returns the sample mean of a named statistic.
@@ -204,31 +259,45 @@ func ScalarsInto(g *graph.Graph, cfg Config, seed int64, sc *Scratch, vals *[10]
 	vals[9] = stats.ClusteringCoefficient(g)
 }
 
-// worldSeeds pre-derives one seed per world from the master seed so
-// that neither the worker count nor the schedule can affect results.
-func worldSeeds(cfg Config) []int64 {
-	seeds := make([]int64, cfg.Worlds)
+// worldSeeds pre-derives one seed per world of the whole budget from
+// the master seed so that neither the worker count, the block schedule
+// nor an early stop can affect any world's stream: world i always
+// samples the same world, whether or not the run reaches it.
+func worldSeeds(cfg Config, budget int) []int64 {
+	seeds := make([]int64, budget)
 	randx.FillWorldSeeds(seeds, randx.New(cfg.Seed))
 	return seeds
 }
 
-// forEachWorld runs fn(worldIndex, world, seed, scratch) for every
-// sampled world, fanning the worlds out over cfg.Workers workers. Each
-// worker owns one Sampler, one reseedable RNG and one Scratch for its
-// whole range, so the per-world loop allocates nothing; the world
-// passed to fn aliases the worker's sampler buffers and is valid only
-// for that call.
+// forEachWorld runs fn(worldIndex, world, seed, scratch) for up to
+// budget sampled worlds, fanning the worlds out over cfg.Workers
+// workers on a deterministic block schedule. Each worker owns one
+// Sampler, one reseedable RNG and one Scratch for the whole run, so the
+// per-world loop allocates nothing; the world passed to fn aliases the
+// worker's sampler buffers and is valid only for that call.
+//
+// stop, when non-nil, turns the run adaptive: after each block of
+// cfg.BlockSize worlds completes (a barrier — every world of the block
+// has been evaluated, none of the next block has started), stop(done)
+// is consulted with the number of worlds finished so far, and a true
+// return ends the run. The returned count is the number of worlds
+// evaluated. Because world seeds are pre-derived for the full budget
+// and every world writes only its own slot, a run stopped at block b is
+// bit-identical to the first b blocks of an uncancelled full-budget
+// run, for every Workers value. A nil stop samples the whole budget in
+// one block — the fixed-r fast path, with no barriers.
 //
 // Cancelling ctx stops the loop at world granularity: no new world is
 // dispatched or evaluated once ctx is done, in-flight worlds finish,
 // every worker goroutine is joined before forEachWorld returns, and
 // the context's error is returned. A nil ctx never cancels.
-func forEachWorld(ctx context.Context, ug *uncertain.Graph, cfg Config, fn func(i int, world *graph.Graph, seed int64, sc *Scratch)) error {
-	seeds := worldSeeds(cfg)
-	workers := cfg.workerCount(cfg.Worlds)
+func forEachWorld(ctx context.Context, ug *uncertain.Graph, cfg Config, budget int, stop func(done int) bool, fn func(i int, world *graph.Graph, seed int64, sc *Scratch)) (int, error) {
+	seeds := worldSeeds(cfg, budget)
+	workers := cfg.workerCount(budget)
 	// Per-worker buffer sets, built lazily on first use: ForWorkers runs
 	// every call for worker w on w's own goroutine, so construction is
-	// race-free and stays parallel.
+	// race-free and stays parallel. States persist across blocks — the
+	// worker id is a buffer-pool index, never a determinism input.
 	type wstate struct {
 		sampler *uncertain.Sampler
 		rng     *rand.Rand
@@ -236,7 +305,7 @@ func forEachWorld(ctx context.Context, ug *uncertain.Graph, cfg Config, fn func(
 	}
 	states := make([]*wstate, workers)
 	var finished atomic.Int64
-	return parallel.ForWorkers(ctx, cfg.Worlds, workers, func(w, i int) {
+	body := func(w, i int) {
 		st := states[w]
 		if st == nil {
 			st = &wstate{sampler: ug.NewSampler(), rng: randx.New(0), sc: NewScratch(cfg)}
@@ -248,30 +317,78 @@ func forEachWorld(ctx context.Context, ug *uncertain.Graph, cfg Config, fn func(
 		world := st.sampler.Sample(st.rng)
 		fn(i, world, seeds[i], st.sc)
 		if cfg.Progress != nil {
-			cfg.Progress(int(finished.Add(1)), cfg.Worlds)
+			cfg.Progress(int(finished.Add(1)), budget)
 		}
-	})
+	}
+	if stop == nil {
+		return budget, parallel.ForWorkers(ctx, budget, workers, body)
+	}
+	done := 0
+	for done < budget {
+		blockLen := cfg.BlockSize
+		if blockLen > budget-done {
+			blockLen = budget - done
+		}
+		base := done
+		bw := workers
+		if bw > blockLen {
+			bw = blockLen
+		}
+		if err := parallel.ForWorkers(ctx, blockLen, bw, func(w, j int) { body(w, base+j) }); err != nil {
+			return base, err
+		}
+		done += blockLen
+		// Never stop on fewer than two worlds: a single sample has no
+		// spread, so every statistic would spuriously report SEM 0.
+		if done >= 2 && stop(done) {
+			break
+		}
+	}
+	return done, nil
 }
 
-// Run samples cfg.Worlds possible worlds of ug and evaluates all ten
-// statistics on each, in parallel across worlds. Results are
-// deterministic for a fixed Config and identical for every Workers
-// value. Cancelling ctx aborts between worlds with no goroutine leaks
-// and returns ctx.Err(); a nil ctx never cancels, and a run that
-// returns a Report is bit-identical to an uncancelled run.
+// Run samples possible worlds of ug and evaluates all ten statistics
+// on each, in parallel across worlds. Results are deterministic for a
+// fixed Config and identical for every Workers value. Cancelling ctx
+// aborts between worlds with no goroutine leaks and returns ctx.Err();
+// a nil ctx never cancels, and a run that returns a Report is
+// bit-identical to an uncancelled run.
+//
+// With Tolerance set, Run is adaptive: it samples in BlockSize blocks
+// and stops at the first barrier where every statistic's relative SEM
+// is inside the tolerance (see Config.Tolerance). The report's sample
+// arrays then hold exactly the WorldsUsed worlds evaluated, and they
+// are bit-identical to the same-length prefix of a full fixed-budget
+// run — adaptive stopping changes how many worlds are measured, never
+// what any world measures.
 func Run(ctx context.Context, ug *uncertain.Graph, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	budget := cfg.budget()
 	report := &Report{
 		Samples: make(map[string][]float64, len(StatNames)),
 		ExactNE: ug.ExpectedNumEdges(),
 		ExactAD: ug.ExpectedAverageDegree(),
 	}
 	samples := make([][]float64, len(StatNames))
-	for i, name := range StatNames {
-		samples[i] = make([]float64, cfg.Worlds)
-		report.Samples[name] = samples[i]
+	for i := range samples {
+		samples[i] = make([]float64, budget)
 	}
-	err := forEachWorld(ctx, ug, cfg, func(i int, world *graph.Graph, seed int64, sc *Scratch) {
+	var stop func(done int) bool
+	if cfg.Tolerance > 0 {
+		stop = func(done int) bool {
+			for _, s := range samples {
+				// The fixed RelativeSEM makes this safe on sparse worlds:
+				// a zero-mean statistic with spread reports +Inf, never
+				// the pre-fix 0 that would have stopped the run after one
+				// block.
+				if !(mathx.RelativeSEM(s[:done]) <= cfg.Tolerance) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	used, err := forEachWorld(ctx, ug, cfg, budget, stop, func(i int, world *graph.Graph, seed int64, sc *Scratch) {
 		var vals [10]float64
 		ScalarsInto(world, cfg, seed, sc, &vals)
 		for s := range samples {
@@ -280,6 +397,16 @@ func Run(ctx context.Context, ug *uncertain.Graph, cfg Config) (*Report, error) 
 	})
 	if err != nil {
 		return nil, err
+	}
+	report.WorldsUsed = used
+	for i, name := range StatNames {
+		report.Samples[name] = samples[i][:used:used]
+	}
+	if cfg.Tolerance > 0 {
+		report.Converged = make(map[string]bool, len(StatNames))
+		for i, name := range StatNames {
+			report.Converged[name] = mathx.RelativeSEM(samples[i][:used]) <= cfg.Tolerance
+		}
 	}
 	return report, nil
 }
@@ -295,16 +422,50 @@ type VectorFn func(g *graph.Graph, seed int64) []float64
 // typically pad or box-summarize). Cancellation follows the same
 // contract as Run: abort between worlds, join all workers, return
 // ctx.Err() and no rows.
+//
+// With Tolerance set, RunVector stops early once every coordinate's
+// relative SEM is inside the tolerance, under the same zero-padding
+// convention as Boxes (rows shorter than the longest contribute 0
+// beyond their length) and the same block-prefix determinism as Run:
+// the returned rows are bit-identical to the same-length prefix of a
+// full fixed-budget run.
 func RunVector(ctx context.Context, ug *uncertain.Graph, cfg Config, fn VectorFn) ([][]float64, error) {
 	cfg = cfg.withDefaults()
-	rows := make([][]float64, cfg.Worlds)
-	err := forEachWorld(ctx, ug, cfg, func(i int, world *graph.Graph, seed int64, _ *Scratch) {
+	budget := cfg.budget()
+	rows := make([][]float64, budget)
+	var stop func(done int) bool
+	if cfg.Tolerance > 0 {
+		var col []float64
+		stop = func(done int) bool {
+			maxLen := 0
+			for _, r := range rows[:done] {
+				if len(r) > maxLen {
+					maxLen = len(r)
+				}
+			}
+			for c := 0; c < maxLen; c++ {
+				col = col[:0]
+				for _, r := range rows[:done] {
+					if c < len(r) {
+						col = append(col, r[c])
+					} else {
+						col = append(col, 0)
+					}
+				}
+				if !(mathx.RelativeSEM(col) <= cfg.Tolerance) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	used, err := forEachWorld(ctx, ug, cfg, budget, stop, func(i int, world *graph.Graph, seed int64, _ *Scratch) {
 		rows[i] = fn(world, seed)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return rows, nil
+	return rows[:used:used], nil
 }
 
 // Box summarizes one coordinate of a vector statistic across worlds:

@@ -56,6 +56,8 @@ type settings struct {
 	workersSet bool
 	worlds     int
 	worldsSet  bool
+	maxWorlds  int
+	tolerance  float64
 	memBudget  int64
 	progress   func(Progress)
 
@@ -125,6 +127,49 @@ func WithWorlds(r int) Option {
 		}
 		s.worlds = r
 		s.worldsSet = true
+		return nil
+	}
+}
+
+// WithTolerance enables adaptive-precision estimation: the operation
+// samples worlds in fixed-size blocks and stops at the first block
+// barrier where every statistic's (EstimateStatistics) or query's
+// (NewQueryBatch) relative standard error of the mean is at most tol.
+// The worlds count — WithWorlds, or WithMaxWorlds for estimation —
+// stays the budget; a run that never converges uses all of it.
+//
+// Determinism: a run stopped after b blocks is bit-identical to the
+// first b blocks of an uncancelled full-budget run, for every
+// WithWorkers value — adaptive stopping changes how many worlds are
+// measured, never what any world measures. Reports carry the worlds
+// actually used (Report.WorldsUsed, Batch.WorldsRun) and per-statistic
+// convergence flags.
+//
+// tol 0 (the default) disables adaptive stopping; negative, NaN or
+// infinite tolerances are rejected with ErrBadConfig.
+func WithTolerance(tol float64) Option {
+	return func(s *settings) error {
+		if tol < 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+			return badConfig("tolerance %v must be a finite non-negative number", tol)
+		}
+		s.tolerance = tol
+		return nil
+	}
+}
+
+// WithMaxWorlds caps the world budget of an adaptive estimation run
+// (EstimateStatistics with WithTolerance): seeds are pre-derived for
+// cap worlds and the run may stop at any block boundary before
+// reaching it. It overrides the budget independently of WithWorlds, so
+// callers can keep a small fixed default while letting adaptive runs
+// range further. For NewQueryBatch it caps the effective world count.
+// Non-positive caps are rejected with ErrBadConfig.
+func WithMaxWorlds(cap int) Option {
+	return func(s *settings) error {
+		if cap <= 0 {
+			return badConfig("max worlds %d must be positive", cap)
+		}
+		s.maxWorlds = cap
 		return nil
 	}
 }
@@ -318,6 +363,12 @@ func (s *settings) estimateConfig(stage string) EstimateConfig {
 	if s.distancesSet {
 		cfg.Distances = s.distances
 	}
+	if s.tolerance > 0 {
+		cfg.Tolerance = s.tolerance
+	}
+	if s.maxWorlds > 0 {
+		cfg.MaxWorlds = s.maxWorlds
+	}
 	if s.progress != nil {
 		cfg.Progress = stageProgress(s.progress, stage)
 	}
@@ -327,10 +378,17 @@ func (s *settings) estimateConfig(stage string) EstimateConfig {
 // queryConfig merges the option list into the query engine's config
 // struct.
 func (s *settings) queryConfig() QueryConfig {
+	worlds := s.worlds
+	// The query engine's Worlds is already the (adaptive) budget, so
+	// WithMaxWorlds acts as a ceiling on it.
+	if s.maxWorlds > 0 && (worlds == 0 || worlds > s.maxWorlds) {
+		worlds = s.maxWorlds
+	}
 	return QueryConfig{
-		Worlds:       s.worlds,
+		Worlds:       worlds,
 		Seed:         s.seed,
 		Workers:      s.workers,
+		Tolerance:    s.tolerance,
 		MemoryBudget: s.memBudget,
 		Progress:     stageProgress(s.progress, StageQuery),
 	}

@@ -3,6 +3,7 @@ package uncertaingraph_test
 import (
 	"context"
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 
@@ -82,6 +83,18 @@ func TestErrBadConfig(t *testing.T) {
 		}()},
 		{"unknown distance method", func() error {
 			_, err := ug.Statistics(ctx, g, ug.WithDistances(ug.DistanceMethod(42)))
+			return err
+		}()},
+		{"negative tolerance", func() error {
+			_, err := ug.EstimateStatistics(ctx, pub, ug.WithTolerance(-0.1))
+			return err
+		}()},
+		{"NaN tolerance", func() error {
+			_, err := ug.EstimateStatistics(ctx, pub, ug.WithTolerance(math.NaN()))
+			return err
+		}()},
+		{"zero max worlds", func() error {
+			_, err := ug.EstimateStatistics(ctx, pub, ug.WithMaxWorlds(0))
 			return err
 		}()},
 	}
@@ -190,6 +203,64 @@ func TestSharedOptionsOverrideBulkStructs(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a.Samples, b.Samples) {
 		t.Error("shared option did not override the bulk struct's Seed")
+	}
+}
+
+// TestAdaptiveOptionsPlumbing pins that WithTolerance/WithMaxWorlds
+// reach the sampling engine through the facade: a certain graph's
+// worlds are identical, so an adaptive run stops at the first block
+// barrier with every statistic converged, while the plain fixed run
+// burns its whole budget and reports no convergence map.
+func TestAdaptiveOptionsPlumbing(t *testing.T) {
+	g := ug.SocialGraph(ug.NewRand(61), 150, 200, []float64{0, 0, 0.6, 0.3, 0.1}, 0.4)
+	pub := ug.CertainGraph(g)
+	ctx := context.Background()
+
+	adaptive, err := ug.EstimateStatistics(ctx, pub,
+		ug.WithTolerance(0.05), ug.WithMaxWorlds(100), ug.WithSeed(7),
+		ug.WithDistances(ug.DistanceExactBFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.WorldsUsed >= 100 || adaptive.WorldsUsed < 2 {
+		t.Fatalf("adaptive run used %d worlds, want an early stop within [2, 100)", adaptive.WorldsUsed)
+	}
+	for _, name := range ug.StatNames {
+		if !adaptive.Converged[name] {
+			t.Errorf("%s unconverged on a certain graph", name)
+		}
+	}
+
+	fixed, err := ug.EstimateStatistics(ctx, pub,
+		ug.WithWorlds(100), ug.WithSeed(7), ug.WithDistances(ug.DistanceExactBFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.WorldsUsed != 100 || fixed.Converged != nil {
+		t.Errorf("fixed run WorldsUsed=%d Converged=%v, want 100/nil", fixed.WorldsUsed, fixed.Converged)
+	}
+
+	// The adaptive run's samples must be the exact prefix of the fixed
+	// run's — the facade preserves the block-prefix determinism contract.
+	for _, name := range ug.StatNames {
+		if !reflect.DeepEqual(adaptive.Samples[name], fixed.Samples[name][:adaptive.WorldsUsed]) {
+			t.Errorf("%s: adaptive samples are not a prefix of the fixed run", name)
+		}
+	}
+
+	rows, err := ug.RunVector(ctx, pub, func(w *ug.Graph, _ int64) []float64 {
+		deg := w.Degrees()
+		out := make([]float64, len(deg))
+		for i, d := range deg {
+			out[i] = float64(d)
+		}
+		return out
+	}, ug.WithTolerance(0.05), ug.WithMaxWorlds(100), ug.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) >= 100 || len(rows) < 2 {
+		t.Errorf("facade RunVector used %d worlds, want an early stop within [2, 100)", len(rows))
 	}
 }
 

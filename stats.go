@@ -87,6 +87,28 @@ func EstimateStatistics(ctx context.Context, ug *UncertainGraph, opts ...Option)
 	return sampling.Run(ctx, ug, s.estimateConfig(StageEstimate))
 }
 
+// VectorFn maps a sampled world to a vector statistic (degree
+// distribution, distance distribution fractions, ...). The graph
+// passed to fn is only valid for the duration of the call; the
+// returned slice must not alias it.
+type VectorFn = sampling.VectorFn
+
+// RunVector evaluates a vector statistic on each sampled world of an
+// uncertain graph, returning one row per world (rows may have
+// different lengths; callers typically pad or box-summarize). It obeys
+// the same options, cancellation and determinism contract as
+// EstimateStatistics; with WithTolerance the run stops early once
+// every coordinate's relative SEM is inside the tolerance (shorter
+// rows contribute 0 beyond their length), and the returned rows are
+// bit-identical to the same-length prefix of a full fixed-budget run.
+func RunVector(ctx context.Context, ug *UncertainGraph, fn VectorFn, opts ...Option) ([][]float64, error) {
+	s, err := newSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.RunVector(ctx, ug, s.estimateConfig(StageEstimate), fn)
+}
+
 // EstimateStatisticsWithConfig is the v1 form of EstimateStatistics: no
 // cancellation, all configuration through the config struct.
 //
