@@ -6,7 +6,7 @@ GO ?= go
 # Label stamped onto bench-sampling runs in BENCH_sampling.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: build test race vet fmt-check seed-check lint cover bench bench-sampling bench-query bench-obfuscate ci
+.PHONY: build test race vet fmt-check seed-check lint cover bench bench-sampling bench-query bench-obfuscate bench-bfs ci
 
 # Total-coverage floor enforced by `make cover`. 75.9% measured when
 # the target was introduced (PR 5); raise it as coverage grows, never
@@ -92,6 +92,22 @@ bench-query:
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
 	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_query.json < "$$tmp"; \
+	status=$$?; rm -f "$$tmp"; exit $$status
+
+# Direction-optimizing frontier BFS benchmarks (pure push vs pure pull
+# vs the density heuristic on a >= 100k-edge scale-free graph),
+# appended as a JSON record to BENCH_bfs.json. DirectionOpt's
+# frontier-switches/op lands in the record's metrics map; the
+# acceptance bar is DirectionOpt beating Push at high-density
+# frontiers.
+bench-bfs:
+	@tmp="$$(mktemp)"; \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkBFSPush$$|BenchmarkBFSPull$$|BenchmarkBFSDirectionOpt$$' \
+		-benchmem -benchtime 3x ./internal/bfs > "$$tmp" 2>&1; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
+	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_bfs.json < "$$tmp"; \
 	status=$$?; rm -f "$$tmp"; exit $$status
 
 # Full-Algorithm-1 obfuscation benchmarks (sequential vs parallel runs

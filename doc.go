@@ -55,6 +55,19 @@
 // worlds, k < 1, negative memory budgets) are rejected with errors
 // wrapping ErrBadConfig rather than silently clamped.
 //
+// The worker budget has two composable axes. World-sampling operations
+// spend it across sampled worlds while there are enough queued worlds
+// to absorb it, and spill the leftover budget into each world's BFS
+// when there are not (one large query over few worlds, the tail block
+// of an adaptive run): the per-world traversal itself then runs as a
+// direction-optimizing frontier walk — push over the sparse frontier
+// list, pull over unvisited vertices once the frontier is dense —
+// parallelized over fixed 512-vertex chunks. Because BFS distances are
+// a function of the level sets alone and the direction heuristic is
+// driven by integer totals, the split is invisible in results: the
+// same bit-identity holds within a world as across worlds. See the
+// README's "Intra-world parallelism" subsection.
+//
 // WithTolerance(tol) turns fixed-r Monte-Carlo runs adaptive: the
 // estimation pipeline and query batches walk their world budget in
 // fixed blocks and stop at the first block barrier where every

@@ -1,0 +1,56 @@
+package bfs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"uncertaingraph/internal/gen"
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/randx"
+)
+
+// benchGraph is the ≥100k-edge synthetic graph the direction-switching
+// acceptance criterion measures on: a scale-free Holme–Kim graph whose
+// middle BFS levels blow past the pull threshold, so direction
+// optimization has density to exploit. Built once, shared by the three
+// benchmarks so their numbers are comparable.
+var benchGraph = struct {
+	once sync.Once
+	g    *graph.Graph
+}{}
+
+func frontierBenchGraph(b *testing.B) *graph.Graph {
+	benchGraph.once.Do(func() {
+		benchGraph.g = gen.HolmeKim(randx.New(42), 40000, 3, 0.3)
+	})
+	g := benchGraph.g
+	if g.NumEdges() < 100000 {
+		b.Fatalf("bench graph has %d edges, want >= 100k", g.NumEdges())
+	}
+	return g
+}
+
+// benchFrontier drives the frontier engine itself (frontierInto, so a
+// forced direction takes effect even on one core) from rotating
+// sources and reports the mean frontier-switches/op — the benchfmt
+// metrics map records it alongside ns/op in BENCH_bfs.json.
+func benchFrontier(b *testing.B, dir direction) {
+	g := frontierBenchGraph(b)
+	s := NewScratch()
+	s.forceDir = dir
+	workers := runtime.GOMAXPROCS(0)
+	s.frontierInto(g, 0, workers) // warm buffers outside the timer
+	switches := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.frontierInto(g, (i*7919)%g.NumVertices(), workers)
+		switches += s.Switches()
+	}
+	b.ReportMetric(float64(switches)/float64(b.N), "frontier-switches/op")
+}
+
+func BenchmarkBFSPush(b *testing.B)         { benchFrontier(b, dirPushOnly) }
+func BenchmarkBFSPull(b *testing.B)         { benchFrontier(b, dirPullOnly) }
+func BenchmarkBFSDirectionOpt(b *testing.B) { benchFrontier(b, dirAuto) }

@@ -4,44 +4,43 @@
 // mid-sized graphs used in tests, examples and scaled-down experiments.
 //
 // Two entry styles are provided: the package-level functions
-// parallelize the source scan across CPUs (for one-shot evaluation of
-// a large graph), while a Scratch runs sequentially against reusable
-// dist/queue/count buffers — the shape the possible-world engine wants,
-// where worlds are already evaluated in parallel and each worker owns
-// one Scratch across its whole run. Both produce bit-identical
-// distributions: every count is an exact small integer, so summation
-// order cannot perturb the result.
+// parallelize the source scan (for one-shot evaluation of a large
+// graph; the *Workers variants take an explicit budget), while a
+// Scratch runs against reusable dist/queue/count buffers — the shape
+// the possible-world engine wants, where each worker owns one Scratch
+// across its whole run. Every entry produces bit-identical
+// distributions for every worker count: counts are exact small
+// integers, so summation order cannot perturb the result.
+//
+// Two axes of parallelism compose: scanSources spreads many sources
+// over workers (across-source), and the frontier engine (frontier.go)
+// spreads one traversal over workers (within-source,
+// direction-optimizing push/pull) for the regime where sources are
+// scarcer than cores.
 package bfs
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/parallel"
 	"uncertaingraph/internal/stats"
 )
 
+// maxProcs is the workers default when a caller passes <= 0.
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
 // FromSource returns the distances from src to every vertex (-1 for
-// unreachable vertices).
+// unreachable vertices). It is a convenience wrapper over the single
+// traversal core (Scratch.FromSourceInto) that widens the result to
+// []int; allocation-sensitive callers use a Scratch directly.
 func FromSource(g *graph.Graph, src int) []int {
-	n := g.NumVertices()
-	dist := make([]int, n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := make([]int32, 0, n)
-	queue = append(queue, int32(src))
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := dist[u]
-		for _, v := range g.Neighbors(int(u)) {
-			if dist[v] < 0 {
-				dist[v] = du + 1
-				queue = append(queue, v)
-			}
-		}
+	d32 := NewScratch().FromSourceInto(g, src)
+	dist := make([]int, len(d32))
+	for i, d := range d32 {
+		dist[i] = int(d)
 	}
 	return dist
 }
@@ -62,6 +61,20 @@ type Scratch struct {
 	// visited records how many vertices the most recent FromSourceInto
 	// or FromSourceTargetsInto walk enqueued (including the source).
 	visited int
+
+	// Frontier-engine state (frontier.go): the sparse frontier list,
+	// the current/next level bitmaps, the direction-switch counter of
+	// the last walk, and a bench/test knob forcing one direction.
+	curr     []int32
+	currBits []uint64
+	nextBits []uint64
+	switches int
+	forceDir direction
+
+	// pool holds the extra per-worker scratches scanSources spins up
+	// when a distance-distribution scan runs with workers > 1; worker 0
+	// always uses s itself, so the sequential path touches no pool.
+	pool []*Scratch
 }
 
 // Visited returns the number of vertices the most recent FromSourceInto
@@ -202,17 +215,97 @@ func (s *Scratch) reset() {
 	s.counts = append(s.counts[:0], 0)
 }
 
+// scanSources runs BFS from nsrc sources (sources nil means vertices
+// 0..nsrc-1) and accumulates ordered distance counts into s.counts,
+// returning the number of ordered reachable pairs. With workers > 1
+// the sources are dealt out in fixed 512-wide chunks to per-worker
+// scratches (worker 0 reuses s; the rest come from s.pool, grown once
+// and kept warm) and the per-worker counts are merged afterwards.
+// Chunk boundaries depend only on nsrc, every count is an exact small
+// integer, and the merge is order-insensitive — so the result is
+// bit-identical to the sequential scan for every worker count.
+func (s *Scratch) scanSources(g *graph.Graph, sources []int32, nsrc, workers int) float64 {
+	s.ensure(g.NumVertices())
+	s.reset()
+	if workers > nsrc {
+		workers = nsrc
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	srcAt := func(i int) int {
+		if sources == nil {
+			return i
+		}
+		return int(sources[i])
+	}
+	if workers == 1 {
+		var reach float64
+		for i := 0; i < nsrc; i++ {
+			reach += s.run(g, srcAt(i))
+		}
+		return reach
+	}
+	for len(s.pool) < workers-1 {
+		s.pool = append(s.pool, NewScratch())
+	}
+	nchunks := (nsrc + frontierChunk - 1) / frontierChunk
+	reach := make([]float64, workers)
+	prepared := make([]bool, workers)
+	parallel.ForWorkers(context.Background(), nchunks, workers, func(w, c int) {
+		sc := s
+		if w > 0 {
+			sc = s.pool[w-1]
+		}
+		if !prepared[w] {
+			sc.ensure(g.NumVertices())
+			sc.reset()
+			prepared[w] = true
+		}
+		lo, hi := c*frontierChunk, (c+1)*frontierChunk
+		if hi > nsrc {
+			hi = nsrc
+		}
+		for i := lo; i < hi; i++ {
+			reach[w] += sc.run(g, srcAt(i))
+		}
+	})
+	// ForWorkers has joined its goroutines, so the merge below is
+	// ordered after every worker's accumulation.
+	total := reach[0] // worker 0's counts are already in s.counts
+	for w := 1; w < workers; w++ {
+		if !prepared[w] {
+			continue
+		}
+		sub := s.pool[w-1]
+		for d, c := range sub.counts {
+			for d >= len(s.counts) {
+				s.counts = append(s.counts, 0)
+			}
+			s.counts[d] += c
+		}
+		total += reach[w]
+	}
+	return total
+}
+
 // DistanceDistribution computes the exact pairwise distance
 // distribution sequentially, reusing s's buffers. The returned Counts
 // alias the scratch and are valid only until the next call on s.
 func (s *Scratch) DistanceDistribution(g *graph.Graph) stats.DistanceDistribution {
-	n := g.NumVertices()
-	s.ensure(n)
-	s.reset()
-	var reachable float64
-	for src := 0; src < n; src++ {
-		reachable += s.run(g, src)
+	return s.DistanceDistributionParallel(g, 1)
+}
+
+// DistanceDistributionParallel is DistanceDistribution with the source
+// scan spread over up to `workers` goroutines (<= 0 means GOMAXPROCS).
+// The result is bit-identical for every worker count; see scanSources.
+func (s *Scratch) DistanceDistributionParallel(g *graph.Graph, workers int) stats.DistanceDistribution {
+	if workers <= 0 {
+		workers = maxProcs()
 	}
+	n := g.NumVertices()
+	reachable := s.scanSources(g, nil, n, workers)
+	// Ordered counts halve to unordered; every pair was seen twice.
 	for i := range s.counts {
 		s.counts[i] /= 2
 	}
@@ -226,17 +319,21 @@ func (s *Scratch) DistanceDistribution(g *graph.Graph) stats.DistanceDistributio
 // SampledDistanceDistribution is the scratch form of the package-level
 // estimator; the returned Counts alias the scratch.
 func (s *Scratch) SampledDistanceDistribution(g *graph.Graph, samples int, rng *rand.Rand) stats.DistanceDistribution {
+	return s.SampledDistanceDistributionParallel(g, samples, rng, 1)
+}
+
+// SampledDistanceDistributionParallel is SampledDistanceDistribution
+// with the source scan spread over up to `workers` goroutines (<= 0
+// means GOMAXPROCS). The rng draws happen up front on the calling
+// goroutine, so the sampled sources — and with them the result — are
+// bit-identical for every worker count.
+func (s *Scratch) SampledDistanceDistributionParallel(g *graph.Graph, samples int, rng *rand.Rand, workers int) stats.DistanceDistribution {
 	n := g.NumVertices()
 	if samples >= n {
-		return s.DistanceDistribution(g)
+		return s.DistanceDistributionParallel(g, workers)
 	}
-	perm := rng.Perm(n)[:samples]
-	s.ensure(n)
-	s.reset()
-	var reachable float64
-	for _, src := range perm {
-		reachable += s.run(g, src)
-	}
+	srcs := sampleSources(rng, n, samples)
+	reachable := s.scanSources(g, srcs, samples, workers)
 	scale := float64(n) / float64(samples) / 2
 	for i := range s.counts {
 		s.counts[i] *= scale
@@ -249,101 +346,66 @@ func (s *Scratch) SampledDistanceDistribution(g *graph.Graph, samples int, rng *
 	return stats.DistanceDistribution{Counts: s.counts, Disconnected: disconnected}
 }
 
+// sampleSources draws `samples` distinct vertices of [0, n) uniformly
+// without replacement: a partial Fisher–Yates shuffle over a sparse
+// displacement map, costing exactly `samples` rng.Intn draws and
+// O(samples) memory instead of the n draws and n ints the historical
+// rng.Perm(n)[:samples] cost. The RNG stream therefore differs from
+// the pre-PR-7 code (fewer draws, different order) — a seed-visible
+// change, pinned once by TestSampleSourcesDrawOrder and absorbed by
+// the re-pinned DistanceSampledBFS regression values in
+// internal/sampling.
+func sampleSources(rng *rand.Rand, n, samples int) []int32 {
+	out := make([]int32, 0, samples)
+	disp := make(map[int]int, samples)
+	for i := 0; i < samples; i++ {
+		j := i + rng.Intn(n-i)
+		vj, ok := disp[j]
+		if !ok {
+			vj = j
+		}
+		out = append(out, int32(vj))
+		if j > i {
+			vi, ok := disp[i]
+			if !ok {
+				vi = i
+			}
+			disp[j] = vi
+			delete(disp, i)
+		}
+	}
+	return out
+}
+
 // DistanceDistribution returns the exact distribution of pairwise
 // distances by running a BFS from every vertex (O(n*m) time), counting
-// each unordered pair once. Sources are processed in parallel.
+// each unordered pair once. Sources are processed on GOMAXPROCS
+// goroutines; DistanceDistributionWorkers takes an explicit budget.
 func DistanceDistribution(g *graph.Graph) stats.DistanceDistribution {
-	n := g.NumVertices()
-	sources := make([]int, n)
-	for i := range sources {
-		sources[i] = i
-	}
-	counts, reachable := scan(g, sources)
-	// Ordered counts halve to unordered; every pair was seen twice.
-	for i := range counts {
-		counts[i] /= 2
-	}
-	totalPairs := float64(n) * float64(n-1) / 2
-	return stats.DistanceDistribution{
-		Counts:       counts,
-		Disconnected: totalPairs - reachable/2,
-	}
+	return DistanceDistributionWorkers(g, 0)
+}
+
+// DistanceDistributionWorkers is DistanceDistribution on up to
+// `workers` goroutines (<= 0 means GOMAXPROCS); workers == 1 is fully
+// sequential — this is the hook that lets the facade's WithWorkers
+// reach the one-shot scan instead of it always fanning out.
+func DistanceDistributionWorkers(g *graph.Graph, workers int) stats.DistanceDistribution {
+	return NewScratch().DistanceDistributionParallel(g, workers)
 }
 
 // SampledDistanceDistribution estimates the distance distribution from
 // BFS trees of `samples` uniformly chosen sources (the sampling
 // approach of Lipton–Naughton cited in §6.3), scaling ordered counts by
 // n/samples. With samples >= n it falls back to the exact computation.
+// Sources are processed on GOMAXPROCS goroutines;
+// SampledDistanceDistributionWorkers takes an explicit budget.
 func SampledDistanceDistribution(g *graph.Graph, samples int, rng *rand.Rand) stats.DistanceDistribution {
-	n := g.NumVertices()
-	if samples >= n {
-		return DistanceDistribution(g)
-	}
-	perm := rng.Perm(n)[:samples]
-	counts, reachable := scan(g, perm)
-	scale := float64(n) / float64(samples) / 2
-	for i := range counts {
-		counts[i] *= scale
-	}
-	totalPairs := float64(n) * float64(n-1) / 2
-	disconnected := totalPairs - reachable*scale
-	if disconnected < 0 {
-		disconnected = 0
-	}
-	return stats.DistanceDistribution{Counts: counts, Disconnected: disconnected}
+	return SampledDistanceDistributionWorkers(g, samples, rng, 0)
 }
 
-// scan runs BFS from each source and accumulates ordered distance
-// counts (source, other) and the number of ordered reachable pairs.
-// Each worker owns one Scratch for its whole source range; partial
-// counts are exact integers, so the merge is order-insensitive.
-func scan(g *graph.Graph, sources []int) (counts []float64, reachable float64) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	type result struct {
-		counts    []float64
-		reachable float64
-	}
-	results := make([]result, workers)
-	var wg sync.WaitGroup
-	chunk := (len(sources) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(sources) {
-			hi = len(sources)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			s := NewScratch()
-			s.ensure(g.NumVertices())
-			var reach float64
-			for _, src := range sources[lo:hi] {
-				reach += s.run(g, src)
-			}
-			results[w] = result{counts: s.counts, reachable: reach}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, r := range results {
-		for d, c := range r.counts {
-			for d >= len(counts) {
-				counts = append(counts, 0)
-			}
-			counts[d] += c
-		}
-		reachable += r.reachable
-	}
-	if counts == nil {
-		counts = []float64{0}
-	}
-	return counts, reachable
+// SampledDistanceDistributionWorkers is SampledDistanceDistribution on
+// up to `workers` goroutines (<= 0 means GOMAXPROCS); workers == 1 is
+// fully sequential.
+func SampledDistanceDistributionWorkers(g *graph.Graph, samples int, rng *rand.Rand, workers int) stats.DistanceDistribution {
+	return NewScratch().SampledDistanceDistributionParallel(g, samples, rng, workers)
 }

@@ -1,0 +1,313 @@
+package bfs
+
+import (
+	"reflect"
+	"testing"
+
+	"uncertaingraph/internal/datasets"
+	"uncertaingraph/internal/gen"
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/randx"
+)
+
+// propertyCorpus builds the randomized-graph corpus of the frontier
+// property tests: ≥ 40 graphs spanning paths (deep, sparse frontiers),
+// stars (one dense level), disconnected structures, scale-free graphs
+// and Erdős–Rényi graphs, so both traversal directions and the switch
+// between them are exercised.
+func propertyCorpus(tb testing.TB) []*graph.Graph {
+	tb.Helper()
+	var gs []*graph.Graph
+	path := func(n int) *graph.Graph {
+		edges := make([]graph.Edge, n-1)
+		for i := range edges {
+			edges[i] = graph.Edge{U: i, V: i + 1}
+		}
+		return graph.FromEdges(n, edges)
+	}
+	star := func(n int) *graph.Graph {
+		edges := make([]graph.Edge, n-1)
+		for i := range edges {
+			edges[i] = graph.Edge{U: 0, V: i + 1}
+		}
+		return graph.FromEdges(n, edges)
+	}
+	for trial := 0; trial < 9; trial++ {
+		seed := int64(1000 + trial)
+		rng := randx.New(seed)
+		n := 60 + trial*30
+		gs = append(gs,
+			path(n),
+			star(n),
+			// Disconnected: a sparse G(n, p) below the connectivity
+			// threshold plus an isolated block of vertices.
+			gen.ErdosRenyiGNP(rng, n+20, 0.8/float64(n)),
+			gen.HolmeKim(randx.New(seed+50), n, 3, 0.3),
+			gen.ErdosRenyiGNP(randx.New(seed+100), n, 4.0/float64(n)),
+		)
+	}
+	// Degenerate and dense shapes.
+	gs = append(gs,
+		graph.FromEdges(1, nil),
+		graph.FromEdges(5, nil),
+		gen.ErdosRenyiGNP(randx.New(7), 40, 1), // complete graph
+	)
+	if len(gs) < 40 {
+		tb.Fatalf("property corpus has %d graphs, want >= 40", len(gs))
+	}
+	return gs
+}
+
+// TestFrontierPropertyBitIdentity is the tentpole pin, in the style of
+// query's TestBatchEarlyExitPropertyBitIdentity: across the corpus,
+// the parallel frontier walk must produce distances bit-identical to
+// the sequential walk for Workers ∈ {1, 2, 4} — including the forced
+// frontier engine at one worker, so the engine itself (not just the
+// workers<=1 delegation) is pinned against the oracle.
+func TestFrontierPropertyBitIdentity(t *testing.T) {
+	seq := NewScratch()
+	par := NewScratch()
+	for gi, g := range propertyCorpus(t) {
+		n := g.NumVertices()
+		for _, src := range []int{0, n / 2, n - 1} {
+			if src >= n {
+				continue
+			}
+			want := append([]int32(nil), seq.FromSourceInto(g, src)...)
+			for _, workers := range []int{1, 2, 4} {
+				if got := par.FromSourceParallelInto(g, src, workers); !reflect.DeepEqual(append([]int32(nil), got...), want) {
+					t.Fatalf("graph %d src %d workers %d: parallel distances diverge", gi, src, workers)
+				}
+				if got := par.frontierInto(g, src, workers); !reflect.DeepEqual(append([]int32(nil), got...), want) {
+					t.Fatalf("graph %d src %d workers %d: forced frontier distances diverge", gi, src, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceDistributionParallelBitIdentity pins distribution
+// bit-identity across worker counts: exact and sampled, scratch and
+// package level. Counts are float64 but integer-valued before scaling,
+// so equality must be exact, not approximate.
+func TestDistanceDistributionParallelBitIdentity(t *testing.T) {
+	seq := NewScratch()
+	par := NewScratch()
+	for gi, g := range propertyCorpus(t) {
+		n := g.NumVertices()
+		wantExact := seq.DistanceDistribution(g)
+		wantCounts := append([]float64(nil), wantExact.Counts...)
+		samples := n / 3
+		var wantSampled []float64
+		var wantSampledDisc float64
+		if samples > 0 {
+			ds := seq.SampledDistanceDistribution(g, samples, randx.New(int64(gi)))
+			wantSampled = append([]float64(nil), ds.Counts...)
+			wantSampledDisc = ds.Disconnected
+		}
+		for _, workers := range []int{1, 2, 4} {
+			got := par.DistanceDistributionParallel(g, workers)
+			if !reflect.DeepEqual(append([]float64(nil), got.Counts...), wantCounts) || got.Disconnected != wantExact.Disconnected {
+				t.Fatalf("graph %d workers %d: exact distribution diverges", gi, workers)
+			}
+			pkg := DistanceDistributionWorkers(g, workers)
+			if !reflect.DeepEqual(append([]float64(nil), pkg.Counts...), wantCounts) || pkg.Disconnected != wantExact.Disconnected {
+				t.Fatalf("graph %d workers %d: package-level exact distribution diverges", gi, workers)
+			}
+			if samples > 0 {
+				gs := par.SampledDistanceDistributionParallel(g, samples, randx.New(int64(gi)), workers)
+				if !reflect.DeepEqual(append([]float64(nil), gs.Counts...), wantSampled) || gs.Disconnected != wantSampledDisc {
+					t.Fatalf("graph %d workers %d: sampled distribution diverges", gi, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierTargetsMatchesFull extends the early-exit contract to
+// the parallel walk: every registered target's entry is bit-identical
+// to the full walk, across reachable, unreachable, duplicate and
+// source-equal targets, in both traversal directions.
+func TestFrontierTargetsMatchesFull(t *testing.T) {
+	full := NewScratch()
+	par := NewScratch()
+	rng := randx.New(99)
+	for gi, g := range propertyCorpus(t) {
+		n := g.NumVertices()
+		if n < 2 {
+			continue
+		}
+		for _, src := range []int{0, n - 1} {
+			want := append([]int32(nil), full.FromSourceInto(g, src)...)
+			for trial := 0; trial < 6; trial++ {
+				targets := make([]int32, 1+rng.Intn(5))
+				for i := range targets {
+					targets[i] = int32(rng.Intn(n))
+				}
+				if trial%3 == 0 {
+					targets = append(targets, int32(src), targets[0])
+				}
+				for _, workers := range []int{2, 4} {
+					got := par.FromSourceTargetsParallelInto(g, src, targets, workers)
+					for _, tv := range targets {
+						if got[tv] != want[tv] {
+							t.Fatalf("graph %d src %d workers %d targets %v: dist[%d] = %d, want %d",
+								gi, src, workers, targets, tv, got[tv], want[tv])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierTargetsStopsEarly asserts the parallel early exit is
+// real: with the target adjacent to the source on a long path, the
+// walk must stop at the first level barrier and leave the far end
+// untouched.
+func TestFrontierTargetsStopsEarly(t *testing.T) {
+	n := 1000
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 1}
+	}
+	g := graph.FromEdges(n, edges)
+	s := NewScratch()
+	d := s.FromSourceTargetsParallelInto(g, 0, []int32{1}, 4)
+	if d[1] != 1 {
+		t.Fatalf("dist[1] = %d, want 1", d[1])
+	}
+	if d[n-1] != -1 {
+		t.Errorf("parallel walk reached the far end (dist[%d] = %d); early exit did not fire", n-1, d[n-1])
+	}
+	if v := s.Visited(); v != 2 {
+		t.Errorf("visited = %d, want 2 (source + level-1 frontier)", v)
+	}
+}
+
+// TestDirectionSwitchFires pins that the density heuristic actually
+// changes direction on a low-diameter graph — the frontier of a
+// scale-free graph blows past 2m/pullDen within a hop or two — and
+// that forcing either single direction still reproduces the oracle
+// distances.
+func TestDirectionSwitchFires(t *testing.T) {
+	g := gen.HolmeKim(randx.New(42), 2000, 4, 0.3)
+	seq := NewScratch()
+	want := append([]int32(nil), seq.FromSourceInto(g, 0)...)
+	s := NewScratch()
+	s.frontierInto(g, 0, 2)
+	if s.Switches() < 1 {
+		t.Errorf("auto walk made %d direction switches, want >= 1", s.Switches())
+	}
+	for _, dir := range []direction{dirPushOnly, dirPullOnly} {
+		s.forceDir = dir
+		got := s.frontierInto(g, 0, 2)
+		if !reflect.DeepEqual(append([]int32(nil), got...), want) {
+			t.Errorf("forced direction %d distances diverge", dir)
+		}
+		if s.Switches() != 0 {
+			t.Errorf("forced direction %d reports %d switches, want 0", dir, s.Switches())
+		}
+	}
+	s.forceDir = dirAuto
+}
+
+// TestFrontierDblpFixtureBitIdentity runs the acceptance check on the
+// dblp stand-in: parallel distances and distributions bit-identical to
+// sequential for Workers ∈ {1, 2, 4}.
+func TestFrontierDblpFixtureBitIdentity(t *testing.T) {
+	d, err := datasets.Generate(datasets.Specs[0], datasets.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	if n, m := g.NumVertices(), g.NumEdges(); n != 566 || m != 1679 {
+		t.Fatalf("fixture drifted: n=%d m=%d, want 566/1679", n, m)
+	}
+	seq := NewScratch()
+	par := NewScratch()
+	wantDD := seq.DistanceDistribution(g)
+	wantCounts := append([]float64(nil), wantDD.Counts...)
+	for _, src := range []int{0, 283, 565} {
+		want := append([]int32(nil), seq.FromSourceInto(g, src)...)
+		for _, workers := range []int{1, 2, 4} {
+			if got := par.FromSourceParallelInto(g, src, workers); !reflect.DeepEqual(append([]int32(nil), got...), want) {
+				t.Fatalf("dblp src %d workers %d: distances diverge", src, workers)
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		got := par.DistanceDistributionParallel(g, workers)
+		if !reflect.DeepEqual(append([]float64(nil), got.Counts...), wantCounts) || got.Disconnected != wantDD.Disconnected {
+			t.Fatalf("dblp workers %d: distance distribution diverges", workers)
+		}
+	}
+}
+
+// TestSampleSourcesDrawOrder pins the partial-Fisher–Yates draw order
+// introduced in PR 7 (the seed-visible replacement for
+// rng.Perm(n)[:samples]): the exact sources, and that they are
+// distinct, in range, and cost exactly `samples` Intn draws.
+func TestSampleSourcesDrawOrder(t *testing.T) {
+	got := sampleSources(randx.New(123), 100, 10)
+	want := []int32{35, 1, 17, 56, 87, 54, 19, 62, 53, 94}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sampleSources(seed 123, n=100, k=10) = %v, want %v", got, want)
+	}
+	// Stream-length pin: after k draws of sampleSources, the generator
+	// must be exactly where k Intn calls leave it — the property that
+	// makes the draw count (not just the order) part of the contract.
+	rngA := randx.New(456)
+	sampleSources(rngA, 1000, 25)
+	rngB := randx.New(456)
+	for i := 0; i < 25; i++ {
+		rngB.Intn(1000 - i)
+	}
+	if a, b := rngA.Int63(), rngB.Int63(); a != b {
+		t.Errorf("sampleSources consumed a different stream length: next draws %d vs %d", a, b)
+	}
+	// Distinctness and range over many seeds.
+	for seed := int64(0); seed < 20; seed++ {
+		n, k := 50, 20
+		srcs := sampleSources(randx.New(seed), n, k)
+		seen := make(map[int32]bool, k)
+		for _, v := range srcs {
+			if v < 0 || int(v) >= n {
+				t.Fatalf("seed %d: source %d out of range [0,%d)", seed, v, n)
+			}
+			if seen[v] {
+				t.Fatalf("seed %d: duplicate source %d", seed, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestFrontierConcurrentChunks is the -race exercise of the edge-map:
+// repeated frontier walks with more workers than cores, in both
+// directions and with targets, so the CAS discovery path, the
+// bitmap-OR loop and the pull chunk ownership all run under the race
+// detector (make race).
+func TestFrontierConcurrentChunks(t *testing.T) {
+	g := gen.HolmeKim(randx.New(11), 3000, 3, 0.3)
+	seq := NewScratch()
+	want := append([]int32(nil), seq.FromSourceInto(g, 17)...)
+	s := NewScratch()
+	for rep := 0; rep < 3; rep++ {
+		if got := s.FromSourceParallelInto(g, 17, 8); !reflect.DeepEqual(append([]int32(nil), got...), want) {
+			t.Fatal("concurrent walk distances diverge")
+		}
+		s.FromSourceTargetsParallelInto(g, 17, []int32{1, 2999, 17}, 8)
+		s.forceDir = dirPushOnly
+		s.frontierInto(g, 17, 8)
+		s.forceDir = dirPullOnly
+		s.frontierInto(g, 17, 8)
+		s.forceDir = dirAuto
+	}
+	// The across-source axis under contention, too.
+	a := NewScratch().DistanceDistributionParallel(g, 8)
+	b := NewScratch().DistanceDistributionParallel(g, 1)
+	if !reflect.DeepEqual(append([]float64(nil), a.Counts...), append([]float64(nil), b.Counts...)) {
+		t.Fatal("concurrent source scan diverges")
+	}
+}

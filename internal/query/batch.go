@@ -26,11 +26,14 @@ type Config struct {
 	// only on (Seed, i), so results are reproducible and identical for
 	// every Workers value.
 	Seed int64
-	// Workers bounds the number of concurrent world evaluations
-	// (<= 0 selects GOMAXPROCS). Each worker owns one sampler, one
-	// reseedable RNG and one BFS scratch; per-world contributions are
-	// integer counts, so the merged results are bit-identical for every
-	// value.
+	// Workers is the total worker budget (<= 0 selects GOMAXPROCS),
+	// spent across worlds while worlds are plentiful — each world
+	// worker owns one sampler, one reseedable RNG and one BFS scratch —
+	// and spilled into the worlds themselves (parallel
+	// direction-optimizing BFS) once distinct sources × queued worlds
+	// drops below it. Per-world contributions are integer counts and
+	// the parallel walk is bit-identical to the sequential one, so the
+	// merged results are bit-identical for every value.
 	Workers int
 	// MemoryBudget, when positive, bounds the batch's accumulator
 	// memory in bytes: Run rejects a query set whose worst-case k-NN
@@ -112,6 +115,14 @@ type Batch struct {
 	master *rand.Rand
 	seeds  []int64
 	ws     []*worker
+
+	// intra is the per-BFS worker budget of the current dispatch
+	// segment: 1 (sequential walks) while distinct sources × queued
+	// worlds can absorb the whole worker budget, and the leftover
+	// budget per world-worker once they cannot — the regime adaptive
+	// stopping creates, where a block's last worlds would otherwise
+	// leave cores idle. Written only between dispatch barriers.
+	intra int
 
 	// Merged results of the last Run.
 	relHits   []int64
@@ -437,6 +448,13 @@ func (b *Batch) Run(ctx context.Context) error {
 		}
 	}
 	b.prepare(workers, r)
+	// total is the full configured worker budget, before the
+	// worlds-count clamp: the spillover that funds intra-world
+	// parallelism when worlds (or sources) are too few to use it.
+	total := b.Workers
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
 	adaptive := b.Tolerance > 0
 	block := r
 	if adaptive {
@@ -448,6 +466,7 @@ func (b *Batch) Run(ctx context.Context) error {
 		if end > r {
 			end = r
 		}
+		b.intra = b.intraWorkers(total, workers, end-done)
 		if workers == 1 {
 			// The serving hot path: kept closure- and channel-free
 			// (worker fan-out lives in runParallel, whose closures would
@@ -481,6 +500,37 @@ func (b *Batch) Run(ctx context.Context) error {
 	b.converged = adaptive && b.allConverged(1, done)
 	b.ran = true
 	return nil
+}
+
+// intraWorkers splits the worker budget between the across-worlds and
+// within-world axes for one dispatch segment of `jobs` worlds run on
+// segWorkers world-goroutines. While distinct sources × queued worlds
+// can absorb the whole budget, every BFS stays sequential (intra 1 —
+// across-worlds parallelism is contention-free and the per-world loop
+// is allocation-free). When it cannot — one large query converging in
+// a single adaptive block, a single-world run — the leftover budget
+// per world-goroutine goes into each walk via the direction-optimizing
+// frontier engine. The split depends only on the configuration and the
+// segment shape, never on the schedule, and the frontier walk is
+// bit-identical to the sequential one, so answers are unchanged.
+func (b *Batch) intraWorkers(total, segWorkers, jobs int) int {
+	if jobs < 1 {
+		return 1
+	}
+	if segWorkers > jobs {
+		segWorkers = jobs
+	}
+	if segWorkers < 1 {
+		segWorkers = 1
+	}
+	if len(b.sources)*jobs >= total {
+		return 1
+	}
+	intra := total / segWorkers
+	if intra < 1 {
+		intra = 1
+	}
+	return intra
 }
 
 // runParallel fans the worlds [base, end) out over the prepared
@@ -603,6 +653,7 @@ func (b *Batch) prepare(workers, r int) {
 		b.master.Seed(b.Seed)
 	}
 	randx.FillWorldSeeds(b.seeds, b.master)
+	b.intra = 1 // Run sets the real split before each dispatch segment
 	if b.proto == nil {
 		b.proto = b.g.NewSampler()
 		b.ws = append(b.ws, &worker{
@@ -684,9 +735,9 @@ func (b *Batch) scanWorld(w *worker, i int) {
 		// agree bit-for-bit on every registered target.
 		var dist []int32
 		if b.knnSlots[si] >= 0 || b.fullBFS {
-			dist = w.scratch.FromSourceInto(world, int(s))
+			dist = w.scratch.FromSourceParallelInto(world, int(s), b.intra)
 		} else {
-			dist = w.scratch.FromSourceTargetsInto(world, int(s), b.srcTargets[si])
+			dist = w.scratch.FromSourceTargetsParallelInto(world, int(s), b.srcTargets[si], b.intra)
 		}
 		for _, id := range b.srcQueries[si] {
 			q := &b.queries[id]

@@ -1,0 +1,83 @@
+package query
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"uncertaingraph/internal/randx"
+)
+
+// TestIntraWorkersSplit pins the budget-split rule: the whole budget
+// goes across worlds while distinct sources × queued worlds can absorb
+// it, and spills inside the walks when they cannot.
+func TestIntraWorkersSplit(t *testing.T) {
+	ug := dblpUncertain(t)
+	b := NewBatch(ug, Config{})
+	b.AddReliability(0, 5) // one distinct source
+	cases := []struct {
+		total, segWorkers, jobs, want int
+	}{
+		{8, 8, 738, 1},  // worlds plentiful: all budget across worlds
+		{8, 8, 4, 2},    // 1 source × 4 worlds < 8: 2 workers per walk
+		{64, 64, 1, 64}, // single world: whole budget inside it
+		{1, 1, 1, 1},    // no budget to spill
+		{8, 8, 0, 1},    // empty segment degenerates safely
+	}
+	for _, c := range cases {
+		if got := b.intraWorkers(c.total, c.segWorkers, c.jobs); got != c.want {
+			t.Errorf("intraWorkers(total=%d, segWorkers=%d, jobs=%d) = %d, want %d",
+				c.total, c.segWorkers, c.jobs, got, c.want)
+		}
+	}
+	b.AddReliability(1, 5)
+	b.AddReliability(2, 5) // three distinct sources now
+	if got := b.intraWorkers(8, 8, 4); got != 1 {
+		t.Errorf("3 sources × 4 worlds >= 8 should stay across-worlds, got intra %d", got)
+	}
+}
+
+// TestBatchIntraWorldBitIdentity is the end-to-end pin for the
+// worlds-scarce regime: a batch whose worker budget exceeds
+// sources × worlds (so the frontier engine runs inside every walk)
+// must answer bit-identically to the sequential configuration, across
+// reliability, distance and k-NN queries.
+func TestBatchIntraWorldBitIdentity(t *testing.T) {
+	rng := randx.New(31)
+	for trial := 0; trial < 8; trial++ {
+		ug := randomUncertainGraph(t, rng, 40+rng.Intn(60))
+		n := ug.NumVertices()
+		type answers struct {
+			rel, disc float64
+			dd        map[int]float64
+			med       int
+			knn       []int
+		}
+		var got []answers
+		for _, workers := range []int{1, 4, 16} {
+			b := NewBatch(ug, Config{Worlds: 2, Seed: int64(trial), Workers: workers})
+			r1 := b.AddReliability(0, n-1)
+			d1 := b.AddDistance(0, n/2)
+			k1 := b.AddKNearest(0, 5)
+			if err := b.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if workers > 2 && b.intra < 2 {
+				t.Fatalf("trial %d workers %d: intra = %d, split never engaged", trial, workers, b.intra)
+			}
+			dd, disc := b.DistanceDistribution(d1)
+			got = append(got, answers{
+				rel:  b.Reliability(r1),
+				disc: disc,
+				dd:   dd,
+				med:  b.MedianDistance(d1),
+				knn:  b.KNearest(k1),
+			})
+		}
+		for i := 1; i < len(got); i++ {
+			if !reflect.DeepEqual(got[0], got[i]) {
+				t.Fatalf("trial %d: answers diverge between worker configs 0 and %d", trial, i)
+			}
+		}
+	}
+}

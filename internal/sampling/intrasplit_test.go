@@ -1,0 +1,56 @@
+package sampling_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"uncertaingraph/internal/gen"
+	"uncertaingraph/internal/randx"
+	"uncertaingraph/internal/sampling"
+)
+
+// TestRunIntraWorldBitIdentity pins the worlds-scarce regime of the
+// worker-budget split: with fewer worlds than workers the leftover
+// budget runs inside each world's BFS distance scans, and the report
+// must stay bit-identical to the sequential configuration for both
+// BFS estimators.
+func TestRunIntraWorldBitIdentity(t *testing.T) {
+	ug := smallUncertain(t)
+	for _, cfg := range []sampling.Config{
+		{Worlds: 3, Seed: 21, Distances: sampling.DistanceExactBFS},
+		{Worlds: 3, Seed: 21, Distances: sampling.DistanceSampledBFS, BFSSources: 16},
+	} {
+		var reps []*sampling.Report
+		for _, workers := range []int{1, 2, 8} {
+			c := cfg
+			c.Workers = workers
+			rep, err := sampling.Run(context.Background(), ug, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, rep)
+		}
+		for i := 1; i < len(reps); i++ {
+			if !reflect.DeepEqual(reps[0].Samples, reps[i].Samples) {
+				t.Errorf("dist=%d: sample arrays diverge between worker configs 0 and %d", cfg.Distances, i)
+			}
+		}
+	}
+}
+
+// TestScalarsOfHonorsWorkers pins the satellite fix: the one-shot
+// evaluation's BFS scans now follow cfg.Workers (1 is fully
+// sequential, larger values fan out) with bit-identical results.
+func TestScalarsOfHonorsWorkers(t *testing.T) {
+	g := gen.HolmeKim(randx.New(3), 120, 3, 0.3)
+	for _, distances := range []sampling.DistanceMethod{sampling.DistanceExactBFS, sampling.DistanceSampledBFS} {
+		base := sampling.ScalarsOf(g, sampling.Config{Distances: distances, BFSSources: 16, Workers: 1}, 5)
+		for _, workers := range []int{0, 2, 8} {
+			got := sampling.ScalarsOf(g, sampling.Config{Distances: distances, BFSSources: 16, Workers: workers}, 5)
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("dist=%d workers=%d: scalars diverge from sequential", distances, workers)
+			}
+		}
+	}
+}

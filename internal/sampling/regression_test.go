@@ -91,6 +91,14 @@ var regressionPins = []struct {
 		},
 	},
 	{
+		// The distance-derived pins (S_APD, S_DiamLB, S_EDiam, S_CL)
+		// were re-pinned once in PR 7: bfs source sampling moved from
+		// rng.Perm(n)[:samples] to a partial Fisher–Yates (exactly
+		// `samples` Intn draws instead of n), a seed-visible RNG-stream
+		// change. The new draw order is itself pinned by
+		// TestSampleSourcesDrawOrder in internal/bfs; every
+		// non-distance statistic is untouched, as is every pin of the
+		// exact-BFS and ANF configs above.
 		cfg: sampling.Config{
 			Worlds: 12, Seed: 11,
 			Distances: sampling.DistanceSampledBFS, BFSSources: 64,
@@ -102,10 +110,10 @@ var regressionPins = []struct {
 			"S_MD":     {83, 0},
 			"S_DV":     {125.18893460192179, 0.00012281918544882226},
 			"S_PL":     {-1.0082291294088139, 0.0024423638813285357},
-			"S_APD":    {3.3409786670855031, 0.0043373751071251344},
-			"S_DiamLB": {7.166666666666667, 0.01567906656891261},
-			"S_EDiam":  {3.9388106280768738, 0.0025130647602781132},
-			"S_CL":     {3.159652616870281, 0.0060725687732468159},
+			"S_APD":    {3.353386034739847, 0.0069821783073091967},
+			"S_DiamLB": {7.25, 0.018008033374727367},
+			"S_EDiam":  {3.9455892794173804, 0.0082118431632953355},
+			"S_CL":     {3.2037968963286745, 0.010200374795099897},
 			"S_CC":     {0.090080870126105231, 0.00012401103237982619},
 		},
 	},

@@ -200,6 +200,21 @@ type Scratch struct {
 	bfs     *bfs.Scratch
 	anf     *anf.Engine
 	anfBits int
+	// intra is the worker budget for the BFS distance scans inside one
+	// ScalarsInto call (0 or 1 means sequential). The world loop raises
+	// it only when queued worlds cannot absorb the whole Workers budget
+	// (see forEachWorld); ScalarsOf sets it from cfg.Workers directly.
+	// The parallel scans are bit-identical to the sequential ones, so
+	// the value never affects results.
+	intra int
+}
+
+// intraWorkers resolves the scratch's intra-scan budget (>= 1).
+func (s *Scratch) intraWorkers() int {
+	if s.intra < 1 {
+		return 1
+	}
+	return s.intra
 }
 
 // NewScratch returns scratch buffers for evaluating statistics under
@@ -223,9 +238,17 @@ func (s *Scratch) engine(cfg Config) *anf.Engine {
 
 // ScalarsOf evaluates the ten paper statistics on a single certain
 // graph (used both per-world and on originals for the "real" rows).
+// The one-shot BFS distance scans honor cfg.Workers (<= 0 selects
+// GOMAXPROCS, 1 is fully sequential); results are bit-identical for
+// every value.
 func ScalarsOf(g *graph.Graph, cfg Config, seed int64) map[string]float64 {
 	var vals [10]float64
-	ScalarsInto(g, cfg, seed, NewScratch(cfg), &vals)
+	sc := NewScratch(cfg)
+	sc.intra = cfg.Workers
+	if sc.intra <= 0 {
+		sc.intra = runtime.GOMAXPROCS(0)
+	}
+	ScalarsInto(g, cfg, seed, sc, &vals)
 	out := make(map[string]float64, len(StatNames))
 	for i, name := range StatNames {
 		out[name] = vals[i]
@@ -246,9 +269,9 @@ func ScalarsInto(g *graph.Graph, cfg Config, seed int64, sc *Scratch, vals *[10]
 	var dd stats.DistanceDistribution
 	switch cfg.Distances {
 	case DistanceExactBFS:
-		dd = sc.bfs.DistanceDistribution(g)
+		dd = sc.bfs.DistanceDistributionParallel(g, sc.intraWorkers())
 	case DistanceSampledBFS:
-		dd = sc.bfs.SampledDistanceDistribution(g, cfg.BFSSources, randx.New(seed))
+		dd = sc.bfs.SampledDistanceDistributionParallel(g, cfg.BFSSources, randx.New(seed), sc.intraWorkers())
 	default:
 		dd = sc.engine(cfg).DistanceDistribution(g, uint64(seed))
 	}
@@ -304,6 +327,30 @@ func forEachWorld(ctx context.Context, ug *uncertain.Graph, cfg Config, budget i
 		sc      *Scratch
 	}
 	states := make([]*wstate, workers)
+	// intra is the within-world BFS worker budget of the current
+	// dispatch: 1 while the queued worlds can absorb the whole Workers
+	// budget, the leftover budget per world-worker once they cannot (a
+	// short adaptive tail block, a tiny fixed run). It is written only
+	// between dispatch barriers, so worker reads are ordered after it;
+	// the parallel scans are bit-identical, so results never depend on
+	// the split.
+	total := cfg.Workers
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	intra := 1
+	setIntra := func(jobs int) {
+		intra = 1
+		if jobs < total {
+			bw := workers
+			if bw > jobs {
+				bw = jobs
+			}
+			if intra = total / bw; intra < 1 {
+				intra = 1
+			}
+		}
+	}
 	var finished atomic.Int64
 	body := func(w, i int) {
 		st := states[w]
@@ -311,6 +358,7 @@ func forEachWorld(ctx context.Context, ug *uncertain.Graph, cfg Config, budget i
 			st = &wstate{sampler: ug.NewSampler(), rng: randx.New(0), sc: NewScratch(cfg)}
 			states[w] = st
 		}
+		st.sc.intra = intra
 		// Reseeding replays exactly the stream randx.New(seed) would
 		// produce, without constructing a new generator.
 		st.rng.Seed(seeds[i])
@@ -321,6 +369,7 @@ func forEachWorld(ctx context.Context, ug *uncertain.Graph, cfg Config, budget i
 		}
 	}
 	if stop == nil {
+		setIntra(budget)
 		return budget, parallel.ForWorkers(ctx, budget, workers, body)
 	}
 	done := 0
@@ -334,6 +383,7 @@ func forEachWorld(ctx context.Context, ug *uncertain.Graph, cfg Config, budget i
 		if bw > blockLen {
 			bw = blockLen
 		}
+		setIntra(blockLen)
 		if err := parallel.ForWorkers(ctx, blockLen, bw, func(w, j int) { body(w, base+j) }); err != nil {
 			return base, err
 		}

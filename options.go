@@ -103,7 +103,12 @@ func WithSeed(seed uint64) Option {
 
 // WithWorkers bounds the operation's concurrency. 0 selects GOMAXPROCS;
 // negative counts are rejected with ErrBadConfig. Results never depend
-// on the value — workers trade wall-clock time only.
+// on the value — workers trade wall-clock time only. The budget spans
+// both parallelism axes: world-sampling operations spend it across
+// sampled worlds while enough worlds are queued to absorb it, and
+// spill the leftover into each world's frontier-parallel BFS when they
+// are not (see the package comment and the README's "Intra-world
+// parallelism" subsection).
 func WithWorkers(n int) Option {
 	return func(s *settings) error {
 		if n < 0 {
