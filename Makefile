@@ -6,7 +6,7 @@ GO ?= go
 # Label stamped onto bench-sampling runs in BENCH_sampling.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: build test race vet fmt-check seed-check lint cover bench bench-sampling bench-query bench-obfuscate bench-bfs ci
+.PHONY: build test race vet fmt-check seed-check lint cover bench bench-sampling bench-query bench-obfuscate bench-bfs bench-qserve ci
 
 # Total-coverage floor enforced by `make cover`. 75.9% measured when
 # the target was introduced (PR 5); raise it as coverage grows, never
@@ -122,6 +122,21 @@ bench-obfuscate:
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
 	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_obfuscate.json < "$$tmp"; \
+	status=$$?; rm -f "$$tmp"; exit $$status
+
+# Multi-tenant serving benchmarks (steady-state hot request vs the
+# post-eviction cold path that reloads a graph from its retained
+# source), appended as a JSON record to BENCH_qserve.json. The gap
+# between the pair is the price of an LRU eviction miss under the
+# global memory budget.
+bench-qserve:
+	@tmp="$$(mktemp)"; \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkRegistryHotRequest$$|BenchmarkRegistryColdReload$$' \
+		-benchmem -benchtime 20x ./internal/qserve > "$$tmp" 2>&1; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
+	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_qserve.json < "$$tmp"; \
 	status=$$?; rm -f "$$tmp"; exit $$status
 
 ci: build lint test race

@@ -1,26 +1,45 @@
-// Command queryd serves analytical queries over one published
-// uncertain graph: a long-lived HTTP/JSON daemon for the paper's
-// consumption side (§1, §6), backed by the batched possible-world
-// query engine (worlds sampled once per request, one BFS per distinct
-// source per world, pooled zero-alloc buffers across requests).
+// Command queryd serves analytical queries over a registry of
+// published uncertain graphs: a long-lived HTTP/JSON daemon for the
+// paper's consumption side (§1, §6), where releases accumulate per
+// dataset, per ε, per epoch and one daemon hosts them all, backed by
+// the batched possible-world query engine (worlds sampled once per
+// request, one BFS per distinct source per world, per-graph pools of
+// zero-alloc buffers across requests).
 //
 // Usage:
 //
-//	queryd -graph published.ug [-addr :8781] [-worlds 738] [-workers N] [-seed 1]
-//	       [-max-worlds 20000] [-mem-budget 1073741824] [-max-knn-sources 64]
-//	       [-tolerance 0.05]
+//	queryd -graph published.ug [-graphs releases/] [-addr :8781]
+//	       [-worlds 738] [-workers N] [-seed 1]
+//	       [-max-worlds 20000] [-max-queries 1024]
+//	       [-mem-budget 1073741824] [-max-knn-sources 64]
+//	       [-global-mem-budget 8589934592] [-tolerance 0.05]
+//
+// -graph loads one file and makes it the default graph (the legacy
+// alias endpoints resolve to it); -graphs loads every *.ug in a
+// directory, each named by its basename. At least one is required, and
+// both compose. When exactly one graph is loaded it becomes the
+// default either way.
 //
 // Endpoints:
 //
-//	GET  /healthz
-//	GET  /reliability?s=0&t=5[&worlds=1000][&seed=7]
-//	GET  /distance?s=0&t=5
-//	GET  /knn?s=0&k=10
-//	POST /batch   {"worlds":1000,"queries":[{"op":"reliability","s":0,"t":5}, ...]}
+//	GET    /healthz                          (limits + per-graph residency/eviction stats)
+//	GET    /graphs                           (list with stats)
+//	PUT    /graphs/{name}                    (publish a graph; ?worlds=&tolerance=&mem-budget= overrides)
+//	POST   /graphs/{name}                    (same as PUT)
+//	DELETE /graphs/{name}
+//	GET    /graphs/{name}/reliability?s=0&t=5[&worlds=1000][&seed=7]
+//	GET    /graphs/{name}/distance?s=0&t=5
+//	GET    /graphs/{name}/knn?s=0&k=10
+//	POST   /graphs/{name}/batch   {"worlds":1000,"queries":[{"op":"reliability","s":0,"t":5}, ...]}
+//	GET    /reliability, /distance, /knn + POST /batch   (aliases for the default graph)
 //
-// Unless a request pins a seed, its world stream is derived from the
-// server seed and the request content, so identical requests return
-// identical answers.
+// Graphs are kept resident under -global-mem-budget: crossing it
+// evicts the least-recently-used cold graphs, and the next request for
+// an evicted graph reloads it from its source (the uploaded bytes or
+// its file) transparently. Unless a request pins a seed, its world
+// stream is derived from the server seed, the graph name and the
+// request content, so identical requests return identical answers —
+// bit-identical even across an evict/reload cycle.
 //
 // The daemon shuts down gracefully: SIGINT or SIGTERM stops accepting
 // new connections, lets in-flight requests drain for -drain (default
@@ -38,63 +57,110 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
-	ug "uncertaingraph"
 	"uncertaingraph/internal/qserve"
 )
 
 func main() {
 	var (
-		gin       = flag.String("graph", "", "published uncertain graph to serve (required)")
-		addr      = flag.String("addr", ":8781", "listen address (port 0 picks a free port)")
-		worlds    = flag.Int("worlds", 0, "default worlds per request (0 selects the Hoeffding default, 738)")
-		maxWorlds = flag.Int("max-worlds", qserve.DefaultMaxWorlds, "per-request worlds cap")
-		memBudget = flag.Int64("mem-budget", qserve.DefaultMemoryBudget, "per-request worst-case accumulator budget in bytes (over-budget requests get HTTP 413)")
-		maxKNN    = flag.Int("max-knn-sources", qserve.DefaultMaxKNNSources, "per-request cap on distinct k-NN sources")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent world evaluations per request (answers are identical for every value)")
-		seed      = flag.Int64("seed", 1, "base seed for content-derived request streams")
-		tol       = flag.Float64("tolerance", 0, "default adaptive-precision tolerance: requests stop sampling once every query's relative SEM is at most this (0 disables; requests may override via the \"tolerance\" field)")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		gin        = flag.String("graph", "", "published uncertain graph to serve as the default graph")
+		gdir       = flag.String("graphs", "", "directory of published graphs: every *.ug is loaded at startup, named by basename")
+		addr       = flag.String("addr", ":8781", "listen address (port 0 picks a free port)")
+		worlds     = flag.Int("worlds", 0, "default worlds per request (0 selects the Hoeffding default, 738)")
+		maxWorlds  = flag.Int("max-worlds", qserve.DefaultMaxWorlds, "per-request worlds cap")
+		maxQueries = flag.Int("max-queries", qserve.DefaultMaxQueries, "per-request query-count cap (>= 1)")
+		memBudget  = flag.Int64("mem-budget", qserve.DefaultMemoryBudget, "per-request worst-case accumulator budget in bytes (over-budget requests get HTTP 413)")
+		maxKNN     = flag.Int("max-knn-sources", qserve.DefaultMaxKNNSources, "per-request cap on distinct k-NN sources")
+		globalMem  = flag.Int64("global-mem-budget", qserve.DefaultGlobalMemBudget, "resident-graph byte budget; crossing it evicts least-recently-used cold graphs")
+		maxGraphs  = flag.Int("max-graphs", qserve.DefaultMaxGraphs, "cap on registered graphs (loaded or evicted)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent world evaluations per request (answers are identical for every value)")
+		seed       = flag.Int64("seed", 1, "base seed for content-derived request streams")
+		tol        = flag.Float64("tolerance", 0, "default adaptive-precision tolerance: requests stop sampling once every query's relative SEM is at most this (0 disables; requests may override via the \"tolerance\" field)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
-	if *gin == "" {
-		fatal(fmt.Errorf("need -graph"))
+	if *gin == "" && *gdir == "" {
+		fatal(fmt.Errorf("need -graph and/or -graphs"))
 	}
 	if !(*tol >= 0) || math.IsInf(*tol, 0) {
 		fatal(fmt.Errorf("-tolerance %v must be a finite non-negative number", *tol))
 	}
-
-	f, err := os.Open(*gin)
-	if err != nil {
-		fatal(err)
+	if *maxQueries < 1 {
+		fatal(fmt.Errorf("-max-queries %d must be >= 1", *maxQueries))
 	}
-	g, err := ug.ReadUncertainGraph(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
+	if *globalMem < 1 {
+		fatal(fmt.Errorf("-global-mem-budget %d must be >= 1", *globalMem))
 	}
 
 	srv := &qserve.Server{
-		G:             g,
-		Worlds:        *worlds,
-		MaxWorlds:     *maxWorlds,
-		Workers:       *workers,
-		Seed:          *seed,
-		Tolerance:     *tol,
-		MemoryBudget:  *memBudget,
-		MaxKNNSources: *maxKNN,
+		Worlds:          *worlds,
+		MaxWorlds:       *maxWorlds,
+		MaxQueries:      *maxQueries,
+		Workers:         *workers,
+		Seed:            *seed,
+		Tolerance:       *tol,
+		MemoryBudget:    *memBudget,
+		MaxKNNSources:   *maxKNN,
+		GlobalMemBudget: *globalMem,
+		MaxGraphs:       *maxGraphs,
 	}
+
+	if *gdir != "" {
+		paths, err := filepath.Glob(filepath.Join(*gdir, "*.ug"))
+		if err != nil {
+			fatal(err)
+		}
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("-graphs %s: no *.ug files", *gdir))
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			if _, err := srv.PublishFile(graphName(p), p, qserve.GraphConfig{}); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *gin != "" {
+		name := graphName(*gin)
+		if _, err := srv.PublishFile(name, *gin, qserve.GraphConfig{}); err != nil {
+			fatal(err)
+		}
+		srv.DefaultGraph = name
+	}
+	graphs, totals := srv.GraphStats()
+	if srv.DefaultGraph == "" && len(graphs) == 1 {
+		// A one-graph registry serves the legacy alias endpoints too,
+		// whichever flag loaded it.
+		srv.DefaultGraph = graphs[0].Name
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
 	// The address line goes to stdout unbuffered so supervisors (and the
 	// smoke test) can read the chosen port before the first request.
-	fmt.Printf("queryd: serving %d vertices / %d candidate pairs at http://%s\n",
-		g.NumVertices(), g.NumPairs(), ln.Addr())
+	var vertices, pairs int
+	for _, g := range graphs {
+		vertices += g.Vertices
+		pairs += g.Pairs
+	}
+	fmt.Printf("queryd: serving %d vertices / %d candidate pairs across %d graph(s) at http://%s\n",
+		vertices, pairs, totals.Graphs, ln.Addr())
+	for _, g := range graphs {
+		def := ""
+		if g.Name == srv.DefaultGraph {
+			def = " (default)"
+		}
+		fmt.Printf("queryd: graph %q: %d vertices / %d candidate pairs / %d resident bytes%s\n",
+			g.Name, g.Vertices, g.Pairs, g.ResidentBytes, def)
+	}
 	httpServer := &http.Server{
 		Handler: srv.Handler(),
 		// Bound header/idle time so stalled clients cannot pin
@@ -133,6 +199,12 @@ func main() {
 		<-serveErr // Serve has returned ErrServerClosed by now
 		fmt.Println("queryd: shutdown complete")
 	}
+}
+
+// graphName derives a registry name from a graph file path: the
+// basename with the .ug suffix dropped.
+func graphName(p string) string {
+	return strings.TrimSuffix(filepath.Base(p), ".ug")
 }
 
 func fatal(err error) {

@@ -91,6 +91,13 @@
 // per HTTP request (rejections are 413) plus a distinct-k-NN-source
 // cap.
 //
+// Serving lives in cmd/queryd (HTTP daemon) over internal/qserve: a
+// registry of named published graphs, each with its own batch pool
+// and optional per-graph worlds/tolerance/memory-budget overrides,
+// under a global memory budget with LRU eviction — an evicted graph
+// reloads from its retained source on the next request and answers
+// bit-identically. See the README's "Multi-tenant serving" section.
+//
 // The primary names carry the v2 signatures; each v1 behaviour stays
 // reachable for one release through a thin deprecated wrapper
 // (ObfuscateWithParams, StatisticsWithConfig,

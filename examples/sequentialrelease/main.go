@@ -2,18 +2,27 @@
 // 8: how does the Medforth–Wang degree-trail attack fare against
 // probabilistic releases? A network evolves over three snapshots; we
 // compare publishing each snapshot as-is against publishing a
-// (k, ε)-obfuscated uncertain graph each time.
+// (k, ε)-obfuscated uncertain graph each time. The uncertain releases
+// then go where a real publisher would put them: uploaded per epoch to
+// one multi-tenant queryd daemon, which serves reliability queries for
+// every epoch side by side.
 //
 //	go run ./examples/sequentialrelease
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"sort"
 
 	ug "uncertaingraph"
+	"uncertaingraph/internal/qserve"
 )
 
 func main() {
@@ -56,6 +65,11 @@ func main() {
 		medianFloat(certLevels), below(certLevels, 5))
 	fmt.Printf("  uncertain releases: median effective crowd %.1f, %d targets below k=5\n",
 		medianFloat(seqLevels), below(seqLevels, 5))
+	// The consumption side (paper §6): every epoch's uncertain release
+	// is uploaded to the same daemon, named epoch0..epoch2, and queried
+	// over HTTP — the serving story for a sequential publisher.
+	serveEpochs(published)
+
 	fmt.Println("\nFindings: the trail attack collapses certain releases (median")
 	fmt.Println("crowd 332 -> 22 here). Per-release (k, eps)-obfuscation restores")
 	fmt.Println("crowd sizes for the bulk of vertices, but the eps-tail excluded")
@@ -63,6 +77,62 @@ func main() {
 	fmt.Println("composition — per-release guarantees do not compose, so a")
 	fmt.Println("sequential publisher must calibrate across releases. This is the")
 	fmt.Println("empirical content of the paper's Section 8 open question.")
+}
+
+// serveEpochs boots an in-process multi-graph query daemon, PUTs each
+// release to /graphs/epoch{t}, and asks every epoch the same
+// reliability question. One daemon, one port, all releases.
+func serveEpochs(published []*ug.UncertainGraph) {
+	srv := &qserve.Server{Worlds: 300, Seed: 5}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	for t, rel := range published {
+		var buf bytes.Buffer
+		if err := ug.WriteUncertainGraph(&buf, rel); err != nil {
+			log.Fatal(err)
+		}
+		req, err := http.NewRequest("PUT", fmt.Sprintf("%s/graphs/epoch%d", base, t), &buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("uploading epoch%d: %d: %s", t, resp.StatusCode, body)
+		}
+	}
+
+	fmt.Printf("\nall %d releases published to one queryd daemon at %s:\n", len(published), base)
+	for t := range published {
+		resp, err := http.Get(fmt.Sprintf("%s/graphs/epoch%d/reliability?s=0&t=500", base, t))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ans struct {
+			Worlds  int `json:"worlds"`
+			Results []struct {
+				Reliability float64 `json:"reliability"`
+			} `json:"results"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ans)
+		resp.Body.Close()
+		if err != nil || len(ans.Results) == 0 {
+			log.Fatalf("querying epoch%d: %v", t, err)
+		}
+		fmt.Printf("  epoch%d: Pr[0 ~ 500] = %.3f over %d sampled worlds\n",
+			t, ans.Results[0].Reliability, ans.Worlds)
+	}
 }
 
 func everyNth(n, step int) []int {

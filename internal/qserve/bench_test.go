@@ -1,0 +1,87 @@
+package qserve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"uncertaingraph/internal/uncertain"
+)
+
+// benchGraph builds a deterministic ~n-vertex uncertain graph (a ring
+// plus hashed chords) big enough that evict/reload cost — serialize
+// source held in memory, parse, rebuild incidence — is visible next to
+// the request's world sampling.
+func benchGraph(b *testing.B, n int) *uncertain.Graph {
+	b.Helper()
+	pairs := make([]uncertain.Pair, 0, 2*n)
+	for u := 0; u < n; u++ {
+		h := (u*2654435761 + 40503) % 97
+		pairs = append(pairs, uncertain.Pair{U: u, V: (u + 1) % n, P: float64(h+1) / 98})
+		if chord := (u + n/3) % n; chord != u && chord != (u+1)%n {
+			pairs = append(pairs, uncertain.Pair{U: u, V: chord, P: float64((h*31)%97+1) / 98})
+		}
+	}
+	g, err := uncertain.New(n, pairs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchRequest(b *testing.B, handler http.Handler, name string) {
+	b.Helper()
+	body := `{"queries":[{"op":"reliability","s":0,"t":9},{"op":"distance","s":1,"t":7}]}`
+	req := httptest.NewRequest("POST", "/graphs/"+name+"/batch", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s: status %d: %s", name, rec.Code, rec.Body.Bytes())
+	}
+}
+
+// BenchmarkRegistryHotRequest is the steady-state number: every
+// request hits a resident graph and a pooled batch. Its gap to
+// BenchmarkRegistryColdReload is the price of an eviction miss.
+func BenchmarkRegistryHotRequest(b *testing.B) {
+	g := benchGraph(b, 2000)
+	srv := &Server{Worlds: 8, Workers: 1, Seed: 1}
+	if _, err := srv.PublishGraph("hot", g, GraphConfig{}); err != nil {
+		b.Fatal(err)
+	}
+	handler := srv.Handler()
+	benchRequest(b, handler, "hot") // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, handler, "hot")
+	}
+}
+
+// BenchmarkRegistryColdReload serves the same request against a
+// registry whose global budget fits one graph while two are
+// registered, alternating between them: every request is a miss that
+// reloads the graph from its retained source and rebuilds its pool.
+func BenchmarkRegistryColdReload(b *testing.B) {
+	g := benchGraph(b, 2000)
+	srv := &Server{Worlds: 8, Workers: 1, Seed: 1,
+		GlobalMemBudget: g.FootprintBytes() + g.FootprintBytes()/2}
+	for _, name := range []string{"cold-a", "cold-b"} {
+		if _, err := srv.PublishGraph(name, g, GraphConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	handler := srv.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, handler, fmt.Sprintf("cold-%c", 'a'+i%2))
+	}
+	b.StopTimer()
+	_, totals := srv.GraphStats()
+	if totals.Evictions < uint64(b.N) {
+		b.Fatalf("only %d evictions over %d requests: the cold path was not exercised", totals.Evictions, b.N)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 
@@ -87,5 +88,106 @@ func FuzzBatchRequestJSON(f *testing.F) {
 		if len(resp.Results) == 0 || len(resp.Results) > 16 {
 			t.Fatalf("served %d results outside (0, MaxQueries=16] for body %q", len(resp.Results), body)
 		}
+	})
+}
+
+// FuzzGraphRouting drives arbitrary graph names through the /graphs/
+// routing layer on a two-tenant registry whose global budget fits only
+// one graph, so the fuzzer churns evictions as a side effect. Each
+// name is tried both path-escaped and raw (when it still parses as a
+// URL, covering traversal shapes like ../a). The invariants: the
+// handler never panics, every status is 200/400/404/413, rejections
+// carry a JSON error, and — the anti-leakage pin — every 200 body is
+// byte-identical to one of the two precomputed per-graph references,
+// so no name can ever be answered from the other tenant's structure.
+func FuzzGraphRouting(f *testing.F) {
+	for _, seed := range []string{
+		"a", "b", "", ".", "..", "../a", "a/b", "a\\b",
+		"café", "%61", "%2e%2e", "a%00b", "a b",
+		strings.Repeat("x", 200), "nosuch", "a?x=1", "a#frag",
+		"\x00", "‮", "a\n",
+	} {
+		f.Add(seed)
+	}
+
+	mk := func(pairs []uncertain.Pair) *uncertain.Graph {
+		g, err := uncertain.New(5, pairs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return g
+	}
+	ga := mk([]uncertain.Pair{
+		{U: 0, V: 1, P: 0.8}, {U: 1, V: 2, P: 0.8}, {U: 2, V: 3, P: 0.8}, {U: 3, V: 4, P: 1},
+	})
+	gb := mk([]uncertain.Pair{
+		{U: 0, V: 1, P: 1}, {U: 0, V: 2, P: 1}, {U: 0, V: 3, P: 1}, {U: 0, V: 4, P: 0.5},
+	})
+	srv := &Server{
+		Worlds: 8, MaxWorlds: 32, MaxQueries: 16, Workers: 1, Seed: 1,
+		// One graph resident at a time: every a/b alternation evicts.
+		GlobalMemBudget: ga.FootprintBytes() + ga.FootprintBytes()/2,
+	}
+	for name, g := range map[string]*uncertain.Graph{"a": ga, "b": gb} {
+		if _, err := srv.PublishGraph(name, g, GraphConfig{}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	handler := srv.Handler()
+	const query = "/reliability?s=0&t=3"
+
+	// Per-graph reference bodies: determinism (and evict/reload bit-
+	// identity) make these the only legal 200 responses for the fuzzed
+	// query, whichever name shape reached them.
+	ref := map[string]string{}
+	for _, name := range []string{"a", "b"} {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/graphs/"+name+query, nil))
+		if rec.Code != http.StatusOK {
+			f.Fatalf("reference request for %q: status %d: %s", name, rec.Code, rec.Body.Bytes())
+		}
+		ref[name] = rec.Body.String()
+	}
+
+	check := func(t *testing.T, target string) {
+		req, err := http.NewRequest("GET", "http://qserve.test"+target, nil)
+		if err != nil {
+			return // not a parseable URL; nothing reaches the handler
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+			var resp BatchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 with non-JSON body for %q: %v", target, err)
+			}
+			if len(resp.Results) == 0 {
+				// A raw name with a '?' truncates the path and lands on
+				// a stats/list endpoint — a legal 200 that is not a
+				// query answer, so the leakage pin does not apply.
+				return
+			}
+			want, ok := ref[resp.Graph]
+			if !ok {
+				t.Fatalf("200 for %q served unknown graph %q", target, resp.Graph)
+			}
+			if rec.Body.String() != want {
+				t.Fatalf("cross-graph leakage for %q: got\n%s\nwant %q's reference\n%s",
+					target, rec.Body.Bytes(), resp.Graph, want)
+			}
+		case http.StatusBadRequest, http.StatusNotFound, http.StatusRequestEntityTooLarge:
+			var e errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("rejection without a JSON error for %q: %d %s", target, rec.Code, rec.Body.Bytes())
+			}
+		default:
+			t.Fatalf("unexpected status %d for %q: %s", rec.Code, target, rec.Body.Bytes())
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, name string) {
+		check(t, "/graphs/"+url.PathEscape(name)+query)
+		check(t, "/graphs/"+name+query) // raw: traversal/extra-segment shapes
 	})
 }

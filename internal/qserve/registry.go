@@ -1,0 +1,390 @@
+package qserve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"unicode/utf8"
+
+	"uncertaingraph/internal/query"
+	"uncertaingraph/internal/uncertain"
+)
+
+// Registry limits. DefaultGlobalMemBudget bounds the summed
+// FootprintBytes of every *loaded* graph — crossing it evicts the
+// least-recently-used cold graphs — and DefaultMaxGraphs bounds how
+// many graphs may be registered at all (loaded or not), so an upload
+// loop cannot grow the name table without bound.
+const (
+	DefaultGlobalMemBudget = int64(8) << 30 // 8 GiB
+	DefaultMaxGraphs       = 1024
+	// maxGraphNameBytes caps a graph name's encoded length; names are
+	// URL path segments and hash into every request seed, so they stay
+	// short.
+	maxGraphNameBytes = 128
+)
+
+// Registry errors, distinguished so the HTTP layer can map them to
+// statuses (unknown → 404, bad name → 400, full → 413).
+var (
+	ErrUnknownGraph = errors.New("qserve: unknown graph")
+	ErrBadGraphName = errors.New("qserve: invalid graph name")
+	ErrRegistryFull = errors.New("qserve: graph registry is full")
+)
+
+// GraphConfig carries one graph's serving overrides. Zero fields
+// inherit the server defaults, so the zero value means "serve with the
+// daemon's configuration".
+type GraphConfig struct {
+	// Worlds overrides the per-request default sample size.
+	Worlds int
+	// Tolerance overrides the default adaptive-precision tolerance.
+	Tolerance float64
+	// MemoryBudget overrides the per-request accumulator budget.
+	MemoryBudget int64
+}
+
+// GraphStats is one registered graph's public snapshot, served by
+// GET /graphs and embedded in /healthz. Vertices and Pairs survive
+// eviction (they describe the published release, not the resident
+// copy); ResidentBytes is 0 while the graph is evicted.
+type GraphStats struct {
+	Name          string `json:"name"`
+	Loaded        bool   `json:"loaded"`
+	Vertices      int    `json:"vertices"`
+	Pairs         int    `json:"pairs"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	// Hits counts requests served while the graph was resident; Misses
+	// counts requests that had to reload it after an eviction;
+	// Evictions counts how many times it was dropped under the global
+	// budget.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Per-graph overrides, omitted when inheriting the server default.
+	Worlds       int     `json:"worlds,omitempty"`
+	Tolerance    float64 `json:"tolerance,omitempty"`
+	MemoryBudget int64   `json:"memory_budget,omitempty"`
+}
+
+// RegistryStats is the registry-wide snapshot.
+type RegistryStats struct {
+	Graphs          int    `json:"graphs"`
+	Loaded          int    `json:"loaded"`
+	ResidentBytes   int64  `json:"resident_bytes"`
+	GlobalMemBudget int64  `json:"global_mem_budget"`
+	Evictions       uint64 `json:"evictions"`
+}
+
+// graphEntry is one registered graph: its durable source (uploaded
+// bytes or a file path, whichever published it), the resident parsed
+// copy when loaded, its private batch pool, and its counters. The
+// source outlives eviction — reloading parses the identical bytes, so
+// an evict-then-reload cycle is invisible to clients.
+type graphEntry struct {
+	name string
+	cfg  GraphConfig
+
+	source []byte // serialized graph; nil when path-backed
+	path   string // reload path; "" when source-backed
+
+	vertices, npairs int
+
+	g     *uncertain.Graph // nil while evicted
+	pool  *query.BatchPool // regenerated with g; nil while evicted
+	bytes int64            // FootprintBytes of g while loaded
+
+	lastUse                 uint64
+	hits, misses, evictions uint64
+}
+
+// graphHandle is what one request borrows from the registry: the
+// resident graph, its batch pool and its overrides, valid for the
+// request's lifetime even if the registry evicts or replaces the entry
+// meanwhile (the handle keeps the old copy alive; batches returned to
+// an orphaned pool are simply garbage-collected).
+type graphHandle struct {
+	name string
+	g    *uncertain.Graph
+	pool *query.BatchPool
+	cfg  GraphConfig
+}
+
+// Registry owns the named published graphs behind one daemon. All
+// state is guarded by one mutex — including reload parsing, so a cold
+// hit briefly serializes the registry; the steady state (every hot
+// graph resident) only touches the map and counters. Batch Get/Put
+// runs outside the lock on the per-graph pools.
+type Registry struct {
+	// GlobalMemBudget bounds the summed FootprintBytes of loaded
+	// graphs (0 selects DefaultGlobalMemBudget). When a load pushes the
+	// total over, least-recently-used graphs are evicted until the
+	// total fits again — except the graph being loaded, which always
+	// stays (a single graph larger than the budget still serves).
+	GlobalMemBudget int64
+	// MaxGraphs bounds the number of registered graphs (0 selects
+	// DefaultMaxGraphs).
+	MaxGraphs int
+	// NewPool builds the batch pool for a graph when it is (re)loaded;
+	// the server injects its effective-budget resolution here. Nil
+	// falls back to an unbudgeted pool.
+	NewPool func(g *uncertain.Graph, cfg GraphConfig) *query.BatchPool
+
+	mu        sync.Mutex
+	graphs    map[string]*graphEntry
+	clock     uint64
+	resident  int64
+	evictions uint64
+}
+
+// validateGraphName rejects names that cannot be URL path segments or
+// smell like filesystem traversal: empty, overlong, non-UTF-8, "." or
+// "..", embedded '/' or '\', control bytes.
+func validateGraphName(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty name", ErrBadGraphName)
+	}
+	if len(name) > maxGraphNameBytes {
+		return fmt.Errorf("%w: name longer than %d bytes", ErrBadGraphName, maxGraphNameBytes)
+	}
+	if !utf8.ValidString(name) {
+		return fmt.Errorf("%w: name is not valid UTF-8", ErrBadGraphName)
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("%w: %q", ErrBadGraphName, name)
+	}
+	for _, b := range []byte(name) {
+		if b == '/' || b == '\\' || b < 0x20 || b == 0x7f {
+			return fmt.Errorf("%w: %q contains a path separator or control byte", ErrBadGraphName, name)
+		}
+	}
+	return nil
+}
+
+func (r *Registry) globalBudget() int64 {
+	if r.GlobalMemBudget > 0 {
+		return r.GlobalMemBudget
+	}
+	return DefaultGlobalMemBudget
+}
+
+func (r *Registry) maxGraphs() int {
+	if r.MaxGraphs > 0 {
+		return r.MaxGraphs
+	}
+	return DefaultMaxGraphs
+}
+
+func (r *Registry) newPool(g *uncertain.Graph, cfg GraphConfig) *query.BatchPool {
+	if r.NewPool != nil {
+		return r.NewPool(g, cfg)
+	}
+	return query.NewBatchPool(g, query.Config{})
+}
+
+// Publish registers (or replaces) a source-backed graph parsed from
+// src, keeps src for reloads, and returns the graph's stats plus
+// whether the name was new. The parsed copy is resident on return;
+// publishing may evict colder graphs to fit it under the global
+// budget.
+func (r *Registry) Publish(name string, src []byte, cfg GraphConfig) (GraphStats, bool, error) {
+	if err := validateGraphName(name); err != nil {
+		return GraphStats{}, false, err
+	}
+	g, err := uncertain.Read(bytes.NewReader(src))
+	if err != nil {
+		return GraphStats{}, false, fmt.Errorf("parsing graph %q: %w", name, err)
+	}
+	return r.install(name, g, src, "", cfg)
+}
+
+// PublishFile registers (or replaces) a path-backed graph: the file is
+// parsed now and re-read on every post-eviction reload, so the
+// registry holds no copy of the serialized form.
+func (r *Registry) PublishFile(name, path string, cfg GraphConfig) (GraphStats, error) {
+	if err := validateGraphName(name); err != nil {
+		return GraphStats{}, err
+	}
+	g, err := readGraphFile(path)
+	if err != nil {
+		return GraphStats{}, err
+	}
+	st, _, err := r.install(name, g, nil, path, cfg)
+	return st, err
+}
+
+func readGraphFile(path string) (*uncertain.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := uncertain.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// install swaps the freshly parsed graph into the registry under the
+// lock, preserving counters across a replace (a republished name is a
+// new release of the same logical graph).
+func (r *Registry) install(name string, g *uncertain.Graph, src []byte, path string, cfg GraphConfig) (GraphStats, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.graphs == nil {
+		r.graphs = make(map[string]*graphEntry)
+	}
+	e, ok := r.graphs[name]
+	if !ok {
+		if len(r.graphs) >= r.maxGraphs() {
+			return GraphStats{}, false, fmt.Errorf("%w: %d graphs registered (cap %d)",
+				ErrRegistryFull, len(r.graphs), r.maxGraphs())
+		}
+		e = &graphEntry{name: name}
+		r.graphs[name] = e
+	} else if e.g != nil {
+		r.resident -= e.bytes
+	}
+	e.cfg = cfg
+	e.source, e.path = src, path
+	e.vertices, e.npairs = g.NumVertices(), g.NumPairs()
+	e.g = g
+	e.bytes = g.FootprintBytes()
+	e.pool = r.newPool(g, cfg)
+	r.resident += e.bytes
+	r.clock++
+	e.lastUse = r.clock
+	r.enforceBudgetLocked(e)
+	return r.statsLocked(e), !ok, nil
+}
+
+// Delete removes a graph entirely — source, resident copy, counters —
+// and reports whether the name existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return false
+	}
+	if e.g != nil {
+		r.resident -= e.bytes
+	}
+	delete(r.graphs, name)
+	return true
+}
+
+// acquire borrows name's graph for one request, reloading it from its
+// source if a past eviction dropped the resident copy. A reload may in
+// turn evict the now-coldest graphs to fit the global budget.
+func (r *Registry) acquire(name string) (*graphHandle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	r.clock++
+	e.lastUse = r.clock
+	if e.g == nil {
+		g, err := e.reload()
+		if err != nil {
+			return nil, fmt.Errorf("reloading graph %q: %w", name, err)
+		}
+		e.g = g
+		e.bytes = g.FootprintBytes()
+		e.pool = r.newPool(g, e.cfg)
+		e.misses++
+		r.resident += e.bytes
+		r.enforceBudgetLocked(e)
+	} else {
+		e.hits++
+	}
+	return &graphHandle{name: e.name, g: e.g, pool: e.pool, cfg: e.cfg}, nil
+}
+
+func (e *graphEntry) reload() (*uncertain.Graph, error) {
+	if e.path != "" {
+		return readGraphFile(e.path)
+	}
+	return uncertain.Read(bytes.NewReader(e.source))
+}
+
+// enforceBudgetLocked evicts least-recently-used loaded graphs until
+// the resident total fits the global budget, never evicting keep (the
+// graph the current operation is about to serve).
+func (r *Registry) enforceBudgetLocked(keep *graphEntry) {
+	budget := r.globalBudget()
+	for r.resident > budget {
+		var victim *graphEntry
+		for _, e := range r.graphs {
+			if e.g == nil || e == keep {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		r.resident -= victim.bytes
+		victim.g, victim.pool, victim.bytes = nil, nil, 0
+		victim.evictions++
+		r.evictions++
+	}
+}
+
+func (r *Registry) statsLocked(e *graphEntry) GraphStats {
+	return GraphStats{
+		Name:          e.name,
+		Loaded:        e.g != nil,
+		Vertices:      e.vertices,
+		Pairs:         e.npairs,
+		ResidentBytes: e.bytes,
+		Hits:          e.hits,
+		Misses:        e.misses,
+		Evictions:     e.evictions,
+		Worlds:        e.cfg.Worlds,
+		Tolerance:     e.cfg.Tolerance,
+		MemoryBudget:  e.cfg.MemoryBudget,
+	}
+}
+
+// Stats returns every graph's snapshot (sorted by name) and the
+// registry totals.
+func (r *Registry) Stats() ([]GraphStats, RegistryStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := make([]GraphStats, 0, len(r.graphs))
+	loaded := 0
+	for _, e := range r.graphs {
+		if e.g != nil {
+			loaded++
+		}
+		list = append(list, r.statsLocked(e))
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list, RegistryStats{
+		Graphs:          len(r.graphs),
+		Loaded:          loaded,
+		ResidentBytes:   r.resident,
+		GlobalMemBudget: r.globalBudget(),
+		Evictions:       r.evictions,
+	}
+}
+
+// GraphStatsFor returns one graph's snapshot.
+func (r *Registry) GraphStatsFor(name string) (GraphStats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return GraphStats{}, false
+	}
+	return r.statsLocked(e), true
+}

@@ -1,20 +1,28 @@
 // Package qserve is the query-serving layer over internal/query's
-// batch engine: a long-lived HTTP/JSON server that loads one published
-// uncertain graph and answers reliability, distance-distribution and
-// k-nearest-neighbour queries — the paper's consumption story (§1, §6)
-// turned into a traffic-shaped service.
+// batch engine: a long-lived HTTP/JSON daemon hosting a *registry* of
+// published uncertain graphs — the paper's consumption story (§1, §6)
+// at deployment shape, where releases pile up per dataset, per ε, per
+// epoch and one daemon serves them all — answering reliability,
+// distance-distribution and k-nearest-neighbour queries against any of
+// them.
 //
-// Every request, including the single-query GET endpoints, runs
-// through one query.Batch drawn from a sync.Pool, so steady-state
-// serving reuses world samplers, BFS scratch and integer accumulators
-// across requests. Worlds are sampled once per request and shared by
-// all of the request's queries.
+// Every named graph owns its serving state: a pool of query.Batch
+// (world samplers, BFS scratch and integer accumulators reused across
+// that graph's requests, never another's), optional Worlds /
+// Tolerance / MemoryBudget overrides falling back to the server
+// defaults, and hit/miss/resident-bytes counters. The registry keeps
+// hot graphs resident under a global memory budget and evicts the
+// least-recently-used cold ones; each evicted graph's durable source
+// (the uploaded bytes, or the file it was loaded from) stays, so the
+// next request reloads it transparently.
 //
 // Determinism contract: a request that does not pin a seed gets one
-// derived from the server's base seed and the request's content
-// (worlds + query list), so identical requests always return identical
-// answers — cache-friendly and replayable — while different requests
-// get decorrelated world streams. A pinned "seed" field overrides the
+// derived from the server's base seed, the graph's *name* and the
+// request's content (worlds + query list), so identical requests
+// against the same graph always return identical answers — including
+// across an evict-then-reload cycle, which parses the identical source
+// bytes — while different requests and different graphs get
+// decorrelated world streams. A pinned "seed" field overrides the
 // derivation. Responses echo the worlds and seed used.
 //
 // Resource limits: besides the worlds and query-count caps, every
@@ -23,17 +31,22 @@
 // per worker), so they are capped outright and charged via
 // query.WorstCaseAccumBytes. Over-budget requests get HTTP 413 with an
 // error wrapping query.ErrOverBudget, and pooled batches shed
-// accumulators retained above the same budget on Reset.
+// accumulators retained above the same budget on Reset. The registry
+// adds the global layer: summed graph footprints are bounded by
+// GlobalMemBudget (LRU eviction) and the name table by MaxGraphs.
 package qserve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"net/http"
+	"path"
 	"strconv"
 	"sync"
 
@@ -55,17 +68,33 @@ const (
 	// request; each one costs a full-component BFS per world plus its
 	// own histogram, so they are the most expensive query shape.
 	DefaultMaxKNNSources = 64
+	// DefaultMaxUploadBytes caps one PUT/POST /graphs/{name} body.
+	DefaultMaxUploadBytes = int64(1) << 30
+	// DefaultGraphName is the registry name a Server.G compat graph is
+	// published under when DefaultGraph is unset.
+	DefaultGraphName = "default"
 )
 
-// Server answers possible-world Monte-Carlo queries over one published
-// uncertain graph. The zero value is not usable; set G. A Server is
-// safe for concurrent use: each in-flight request owns a pooled
-// query.Batch, and the graph itself is read-only.
+// Server answers possible-world Monte-Carlo queries over a registry of
+// published uncertain graphs. The zero value serves an empty registry;
+// set G (compat single-graph mode) or publish graphs via Publish /
+// PublishFile / the HTTP surface. All exported fields must be set
+// before the first request; after that a Server is safe for concurrent
+// use — each in-flight request borrows a graph handle and a pooled
+// query.Batch from that graph's pool, and resident graphs are
+// read-only.
 type Server struct {
-	// G is the published uncertain graph being served.
+	// G, when non-nil, is published at startup under DefaultGraph (or
+	// DefaultGraphName) — the pre-registry single-graph mode.
 	G *uncertain.Graph
+	// DefaultGraph names the graph the legacy alias endpoints
+	// (/batch, /reliability, /distance, /knn) resolve to. Empty with
+	// G set selects DefaultGraphName; empty without G leaves the
+	// aliases answering 404.
+	DefaultGraph string
 	// Worlds is the per-request default sample size (0 selects the
-	// Hoeffding default, 738).
+	// Hoeffding default, 738); a per-graph Worlds override takes
+	// precedence.
 	Worlds int
 	// MaxWorlds caps the per-request sample size (0 selects
 	// DefaultMaxWorlds).
@@ -77,25 +106,116 @@ type Server struct {
 	// selects GOMAXPROCS); answers are identical for every value.
 	Workers int
 	// Seed is the base seed for the content-derived per-request world
-	// streams.
+	// streams (the derivation also hashes the graph name).
 	Seed int64
 	// Tolerance is the default adaptive-precision tolerance applied to
 	// requests that do not carry their own "tolerance" field: when > 0,
 	// a request's batch stops as soon as every query's relative SEM is
 	// inside it (see query.Config.Tolerance), and the response reports
 	// the worlds actually used. 0 keeps the fixed-worlds behaviour.
+	// A per-graph Tolerance override takes precedence.
 	Tolerance float64
 	// MemoryBudget caps the worst-case accumulator bytes one request
 	// may grow — query.WorstCaseAccumBytes(n, distinct k-NN sources,
 	// workers) — and the bytes a pooled batch retains across requests
 	// (0 selects DefaultMemoryBudget). Over-budget requests are
 	// rejected with HTTP 413 and an error wrapping query.ErrOverBudget.
+	// A per-graph MemoryBudget override takes precedence.
 	MemoryBudget int64
 	// MaxKNNSources caps the distinct k-NN sources per request (0
 	// selects DefaultMaxKNNSources); the rejection is also 413-typed.
 	MaxKNNSources int
+	// GlobalMemBudget bounds the summed footprint of resident graphs;
+	// crossing it evicts the least-recently-used cold graphs (0
+	// selects DefaultGlobalMemBudget).
+	GlobalMemBudget int64
+	// MaxGraphs bounds the registry's name table (0 selects
+	// DefaultMaxGraphs); registering past it gets HTTP 413.
+	MaxGraphs int
+	// MaxUploadBytes caps one graph-upload body (0 selects
+	// DefaultMaxUploadBytes); larger uploads get HTTP 413.
+	MaxUploadBytes int64
 
-	pool sync.Pool
+	initOnce sync.Once
+	reg      *Registry
+	defName  string
+}
+
+// init builds the registry on first use and publishes the compat G
+// graph under the default name. The registry's pool hook resolves each
+// graph's effective memory budget, so pooled batches shed to the same
+// bound validate prices against.
+func (s *Server) init() {
+	s.initOnce.Do(func() {
+		s.reg = &Registry{
+			GlobalMemBudget: s.GlobalMemBudget,
+			MaxGraphs:       s.MaxGraphs,
+			NewPool: func(g *uncertain.Graph, cfg GraphConfig) *query.BatchPool {
+				return query.NewBatchPool(g, query.Config{MemoryBudget: s.effMemBudget(cfg)})
+			},
+		}
+		s.defName = s.DefaultGraph
+		if s.G != nil {
+			if s.defName == "" {
+				s.defName = DefaultGraphName
+			}
+			var buf bytes.Buffer
+			if err := uncertain.Write(&buf, s.G); err != nil {
+				panic(fmt.Sprintf("qserve: serializing Server.G: %v", err))
+			}
+			// install keeps the already-parsed G resident and the
+			// serialization as its reload source; Write emits exact
+			// float representations, so an evict-then-reload cycle
+			// reconstructs G bit-identically.
+			if _, _, err := s.reg.install(s.defName, s.G, buf.Bytes(), "", GraphConfig{}); err != nil {
+				panic(fmt.Sprintf("qserve: publishing Server.G: %v", err))
+			}
+		}
+	})
+}
+
+// Publish parses src and registers (or replaces) it under name,
+// keeping src for post-eviction reloads.
+func (s *Server) Publish(name string, src []byte, cfg GraphConfig) (GraphStats, bool, error) {
+	s.init()
+	return s.reg.Publish(name, src, cfg)
+}
+
+// PublishGraph serializes g and registers it under name — the
+// in-process form of an upload, used by daemons that already hold a
+// parsed graph.
+func (s *Server) PublishGraph(name string, g *uncertain.Graph, cfg GraphConfig) (GraphStats, error) {
+	s.init()
+	if err := validateGraphName(name); err != nil {
+		return GraphStats{}, err
+	}
+	var buf bytes.Buffer
+	if err := uncertain.Write(&buf, g); err != nil {
+		return GraphStats{}, err
+	}
+	st, _, err := s.reg.install(name, g, buf.Bytes(), "", cfg)
+	return st, err
+}
+
+// PublishFile registers the graph stored at path under name; the file
+// is re-read on every post-eviction reload.
+func (s *Server) PublishFile(name, path string, cfg GraphConfig) (GraphStats, error) {
+	s.init()
+	return s.reg.PublishFile(name, path, cfg)
+}
+
+// DeleteGraph removes name from the registry, reporting whether it
+// existed.
+func (s *Server) DeleteGraph(name string) bool {
+	s.init()
+	return s.reg.Delete(name)
+}
+
+// GraphStats returns every registered graph's snapshot and the
+// registry totals.
+func (s *Server) GraphStats() ([]GraphStats, RegistryStats) {
+	s.init()
+	return s.reg.Stats()
 }
 
 // QueryRequest is one query of a batch request.
@@ -110,19 +230,22 @@ type QueryRequest struct {
 	K int `json:"k,omitempty"`
 }
 
-// BatchRequest is the body of POST /batch.
+// BatchRequest is the body of POST /graphs/{name}/batch (and the
+// legacy alias POST /batch).
 type BatchRequest struct {
-	// Worlds overrides the server's per-request sample size.
+	// Worlds overrides the graph's (or server's) per-request sample
+	// size.
 	Worlds int `json:"worlds,omitempty"`
 	// Seed pins the world stream; omitted, it is derived from the
-	// request content.
+	// graph name and the request content.
 	Seed *int64 `json:"seed,omitempty"`
-	// Tolerance overrides the server's adaptive-precision tolerance:
+	// Tolerance overrides the effective adaptive-precision tolerance:
 	// > 0 lets the run stop early once every query's relative SEM is
 	// inside it, an explicit 0 disables adaptive stopping for this
-	// request, omitted inherits the server default. The worlds value
-	// stays the budget — requests are priced against it in validate —
-	// and the response's "worlds" reports how many were actually used.
+	// request, omitted inherits the graph override or server default.
+	// The worlds value stays the budget — requests are priced against
+	// it in validate — and the response's "worlds" reports how many
+	// were actually used.
 	Tolerance *float64       `json:"tolerance,omitempty"`
 	Queries   []QueryRequest `json:"queries"`
 }
@@ -157,8 +280,11 @@ type QueryResult struct {
 // number of worlds actually sampled — fewer than the request's budget
 // when an adaptive run converged early.
 type BatchResponse struct {
-	Worlds int   `json:"worlds"`
-	Seed   int64 `json:"seed"`
+	// Graph is the registry name the request resolved to (the legacy
+	// aliases echo the default graph's name here).
+	Graph  string `json:"graph,omitempty"`
+	Worlds int    `json:"worlds"`
+	Seed   int64  `json:"seed"`
 	// Tolerance and Converged are reported for adaptive runs only:
 	// the effective tolerance, and whether every query's relative SEM
 	// was inside it when the run stopped (false means the worlds
@@ -169,6 +295,8 @@ type BatchResponse struct {
 }
 
 type healthResponse struct {
+	// Vertices and Pairs describe the default graph (zero without
+	// one); the full per-graph picture is in Graphs.
 	Vertices      int `json:"vertices"`
 	Pairs         int `json:"pairs"`
 	DefaultWorlds int `json:"default_worlds"`
@@ -181,6 +309,24 @@ type healthResponse struct {
 	Tolerance     float64 `json:"tolerance,omitempty"`
 	MemoryBudget  int64   `json:"memory_budget"`
 	MaxKNNSources int     `json:"max_knn_sources"`
+	// DefaultGraph is the name the legacy alias endpoints resolve to.
+	DefaultGraph string `json:"default_graph,omitempty"`
+	// Registry totals (graph count, residency, evictions) and the
+	// per-graph list with hit/miss/resident counters.
+	Registry RegistryStats `json:"registry"`
+	Graphs   []GraphStats  `json:"graphs"`
+}
+
+// graphListResponse is the body of GET /graphs.
+type graphListResponse struct {
+	Registry RegistryStats `json:"registry"`
+	Graphs   []GraphStats  `json:"graphs"`
+}
+
+// uploadResponse is the body of a successful PUT/POST /graphs/{name}.
+type uploadResponse struct {
+	Created bool       `json:"created"`
+	Graph   GraphStats `json:"graph"`
 }
 
 type errorResponse struct {
@@ -189,41 +335,216 @@ type errorResponse struct {
 
 // Handler returns the HTTP handler serving the query API:
 //
-//	GET  /healthz
-//	GET  /reliability?s=&t=[&worlds=][&seed=]
-//	GET  /distance?s=&t=[&worlds=][&seed=]
-//	GET  /knn?s=&k=[&worlds=][&seed=]
-//	POST /batch           (BatchRequest body)
+//	GET    /healthz
+//	GET    /graphs                            (list with stats)
+//	PUT    /graphs/{name}   (upload a published graph; query params
+//	POST   /graphs/{name}    worlds=, tolerance=, mem-budget= set
+//	                         per-graph overrides)
+//	GET    /graphs/{name}                     (one graph's stats)
+//	DELETE /graphs/{name}
+//	GET    /graphs/{name}/reliability?s=&t=[&worlds=][&seed=][&tolerance=]
+//	GET    /graphs/{name}/distance?s=&t=[...]
+//	GET    /graphs/{name}/knn?s=&k=[...]
+//	POST   /graphs/{name}/batch               (BatchRequest body)
+//
+// plus the legacy single-graph aliases GET /reliability, GET
+// /distance, GET /knn and POST /batch, which resolve to the default
+// graph (kept for one release).
 func (s *Server) Handler() http.Handler {
+	s.init()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /graphs", s.handleGraphList)
+	mux.HandleFunc("GET /graphs/{name}", s.handleGraphStats)
+	mux.HandleFunc("PUT /graphs/{name}", s.handleGraphPut)
+	mux.HandleFunc("POST /graphs/{name}", s.handleGraphPut)
+	mux.HandleFunc("DELETE /graphs/{name}", s.handleGraphDelete)
+	mux.HandleFunc("GET /graphs/{name}/reliability", s.handleSingle("reliability"))
+	mux.HandleFunc("GET /graphs/{name}/distance", s.handleSingle("distance"))
+	mux.HandleFunc("GET /graphs/{name}/knn", s.handleSingle("knn"))
+	mux.HandleFunc("POST /graphs/{name}/batch", s.handleBatch)
 	mux.HandleFunc("GET /reliability", s.handleSingle("reliability"))
 	mux.HandleFunc("GET /distance", s.handleSingle("distance"))
 	mux.HandleFunc("GET /knn", s.handleSingle("knn"))
 	mux.HandleFunc("POST /batch", s.handleBatch)
-	return mux
+	// Catch-all: unmatched routes get the same JSON 404 shape as
+	// unknown graphs, not ServeMux's plain-text page.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %q", r.URL.Path))
+	})
+	return canonicalPathOnly(mux)
+}
+
+// canonicalPathOnly rejects requests whose escaped path is not already
+// clean (".." or "." segments, doubled or trailing slashes) with a
+// plain 404 instead of ServeMux's 301 redirect: traversal-shaped paths
+// never silently re-resolve to another graph's endpoint, and the
+// response-status surface stays {200, 400, 404, 413}.
+func canonicalPathOnly(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.EscapedPath()
+		if p == "" || p[0] != '/' || (p != "/" && path.Clean(p) != p) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("non-canonical path %q", p))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// pathGraphName resolves the request's graph name: the {name} path
+// segment when present (validated), otherwise the default graph.
+// The empty string with a nil error never happens; failures carry the
+// HTTP status to respond with.
+func (s *Server) pathGraphName(r *http.Request) (string, int, error) {
+	if name := r.PathValue("name"); name != "" {
+		if err := validateGraphName(name); err != nil {
+			return "", http.StatusBadRequest, err
+		}
+		return name, 0, nil
+	}
+	if name := s.defaultName(); name != "" {
+		return name, 0, nil
+	}
+	return "", http.StatusNotFound, fmt.Errorf("%w: no default graph configured; address /graphs/{name}/...", ErrUnknownGraph)
+}
+
+// defaultName resolves the graph the legacy alias endpoints serve.
+// DefaultGraph is read at call time, not frozen at init: cmd/queryd
+// publishes its graphs first and names the default just before
+// serving. The init-time name covers the compat Server.G publish.
+func (s *Server) defaultName() string {
+	if s.DefaultGraph != "" {
+		return s.DefaultGraph
+	}
+	return s.defName
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{
-		Vertices:      s.G.NumVertices(),
-		Pairs:         s.G.NumPairs(),
-		DefaultWorlds: s.worlds(0),
+	graphs, totals := s.reg.Stats()
+	h := healthResponse{
+		DefaultWorlds: s.defaultWorlds(),
 		MaxWorlds:     s.maxWorlds(),
 		MaxQueries:    s.maxQueries(),
-		Workers:       query.EffectiveWorkers(s.Workers, s.worlds(0)),
+		Workers:       query.EffectiveWorkers(s.Workers, s.defaultWorlds()),
 		Tolerance:     s.Tolerance,
 		MemoryBudget:  s.memoryBudget(),
 		MaxKNNSources: s.maxKNNSources(),
-	})
+		DefaultGraph:  s.defaultName(),
+		Registry:      totals,
+		Graphs:        graphs,
+	}
+	if st, ok := s.reg.GraphStatsFor(s.defaultName()); ok {
+		h.Vertices, h.Pairs = st.Vertices, st.Pairs
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleGraphList(w http.ResponseWriter, _ *http.Request) {
+	graphs, totals := s.reg.Stats()
+	writeJSON(w, http.StatusOK, graphListResponse{Registry: totals, Graphs: graphs})
+}
+
+func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := validateGraphName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, ok := s.reg.GraphStatsFor(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownGraph, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleGraphPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := validateGraphName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := graphConfigFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxUploadBytes()))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading upload: %w", err))
+		return
+	}
+	st, created, err := s.Publish(name, body, cfg)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrRegistryFull) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, uploadResponse{Created: created, Graph: st})
+}
+
+// graphConfigFromQuery parses the per-graph override query parameters
+// of an upload: worlds, tolerance, mem-budget. Absent parameters leave
+// the zero value (inherit the server default).
+func graphConfigFromQuery(r *http.Request) (GraphConfig, error) {
+	var cfg GraphConfig
+	q := r.URL.Query()
+	if v := q.Get("worlds"); v != "" {
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return cfg, fmt.Errorf("parameter worlds: %q must be a non-negative integer", v)
+		}
+		cfg.Worlds = w
+	}
+	if v := q.Get("tolerance"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil || t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return cfg, fmt.Errorf("parameter tolerance: %q must be a finite non-negative number", v)
+		}
+		cfg.Tolerance = t
+	}
+	if v := q.Get("mem-budget"); v != "" {
+		b, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || b < 0 {
+			return cfg, fmt.Errorf("parameter mem-budget: %q must be a non-negative byte count", v)
+		}
+		cfg.MemoryBudget = b
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := validateGraphName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.reg.Delete(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownGraph, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
 // handleSingle adapts one GET endpoint onto the batch path: the
 // response is a BatchResponse carrying a single result.
 func (s *Server) handleSingle(op string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		name, status, err := s.pathGraphName(r)
+		if err != nil {
+			writeError(w, status, err)
+			return
+		}
 		q := QueryRequest{Op: op}
-		var err error
 		if q.S, err = intParam(r, "s"); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -261,11 +582,16 @@ func (s *Server) handleSingle(op string) http.HandlerFunc {
 			}
 			req.Tolerance = &tol
 		}
-		s.serve(r.Context(), w, &req)
+		s.serve(r.Context(), w, name, &req)
 	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	name, status, err := s.pathGraphName(r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
 	var req BatchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -273,17 +599,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	s.serve(r.Context(), w, &req)
+	s.serve(r.Context(), w, name, &req)
 }
 
-// serve validates req, runs it through a pooled batch under the
-// request's context and writes the response. A dropped connection (or
-// server shutdown closing idle connections) cancels ctx, which stops
-// the batch's BFS work mid-flight at world granularity; the batch then
-// returns to the pool clean — Reset on next acquire re-derives
-// everything — and no response is written to the dead client.
-func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchRequest) {
-	if err := s.validate(req); err != nil {
+// serve resolves the named graph (reloading it if evicted), validates
+// req against it, runs it through a batch from the graph's pool under
+// the request's context and writes the response. A dropped connection
+// (or server shutdown closing idle connections) cancels ctx, which
+// stops the batch's BFS work mid-flight at world granularity; the
+// batch then returns to the pool clean — Reset on next acquire
+// re-derives everything — and no response is written to the dead
+// client.
+func (s *Server) serve(ctx context.Context, w http.ResponseWriter, name string, req *BatchRequest) {
+	h, err := s.reg.acquire(name)
+	if err != nil {
+		status := http.StatusInternalServerError // e.g. a path-backed reload failing
+		if errors.Is(err, ErrUnknownGraph) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	if err := s.validate(h, req); err != nil {
 		// Over-budget requests are a payload-size problem, not a
 		// malformed one: 413 tells a well-behaved client to shrink the
 		// request rather than fix it.
@@ -294,14 +631,19 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchReq
 		writeError(w, status, err)
 		return
 	}
-	worlds := s.worlds(req.Worlds)
-	seed := s.requestSeed(req, worlds)
-	tol := s.Tolerance
+	worlds := s.worlds(h, req.Worlds)
+	seed := s.requestSeed(name, req, worlds)
+	tol := s.effTolerance(h)
 	if req.Tolerance != nil {
 		tol = *req.Tolerance
 	}
 
-	b := s.acquire()
+	b := h.pool.Get()
+	// Re-stamp the budget the validation above priced against: the
+	// pool's template was resolved at graph-load time, and validate
+	// must agree with Run's own budget check even if the server's
+	// defaults were adjusted since.
+	b.MemoryBudget = s.effMemBudget(h.cfg)
 	ids := make([]int, len(req.Queries))
 	for i, q := range req.Queries {
 		switch q.Op {
@@ -320,7 +662,7 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchReq
 	// previous request's tolerance must not leak into this one.
 	b.Tolerance = tol
 	if err := b.Run(ctx); err != nil {
-		s.pool.Put(b)
+		h.pool.Put(b)
 		// The usual cause: the client dropped (or the server is
 		// shutting down) and the request context cancelled — abandon
 		// the answer, nobody is listening.
@@ -340,7 +682,7 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchReq
 
 	// Worlds reports what the run actually sampled — bit-identical to a
 	// prefix of the full-budget stream when adaptive stopping kicked in.
-	resp := BatchResponse{Worlds: b.WorldsRun(), Seed: seed, Results: make([]QueryResult, len(req.Queries))}
+	resp := BatchResponse{Graph: name, Worlds: b.WorldsRun(), Seed: seed, Results: make([]QueryResult, len(req.Queries))}
 	if tol > 0 {
 		resp.Tolerance = tol
 		resp.Converged = b.Converged()
@@ -372,11 +714,11 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, req *BatchReq
 		}
 		resp.Results[i] = res
 	}
-	s.pool.Put(b)
+	h.pool.Put(b)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) validate(req *BatchRequest) error {
+func (s *Server) validate(h *graphHandle, req *BatchRequest) error {
 	if len(req.Queries) == 0 {
 		return fmt.Errorf("empty query list")
 	}
@@ -397,7 +739,7 @@ func (s *Server) validate(req *BatchRequest) error {
 			return fmt.Errorf("tolerance %v must be a finite non-negative number", t)
 		}
 	}
-	n := s.G.NumVertices()
+	n := h.g.NumVertices()
 	knnSources := make(map[int]struct{})
 	for i, q := range req.Queries {
 		if q.S < 0 || q.S >= n {
@@ -425,16 +767,22 @@ func (s *Server) validate(req *BatchRequest) error {
 		return fmt.Errorf("%w: %d distinct k-NN sources exceed the per-request cap %d",
 			query.ErrOverBudget, len(knnSources), max)
 	}
-	workers := query.EffectiveWorkers(s.Workers, s.worlds(req.Worlds))
-	if need, budget := query.WorstCaseAccumBytes(n, len(knnSources), workers), s.memoryBudget(); need > budget {
+	workers := query.EffectiveWorkers(s.Workers, s.worlds(h, req.Worlds))
+	if need, budget := query.WorstCaseAccumBytes(n, len(knnSources), workers), s.effMemBudget(h.cfg); need > budget {
 		return fmt.Errorf("%w: worst case %d bytes (%d k-NN sources × %d² vertices × 4 bytes × %d workers) > budget %d bytes",
 			query.ErrOverBudget, need, len(knnSources), n, workers, budget)
 	}
 	return nil
 }
 
-func (s *Server) worlds(requested int) int {
+// worlds resolves a request's effective sample size: the request's
+// value, else the graph's override, else the server default, clamped
+// by MaxWorlds.
+func (s *Server) worlds(h *graphHandle, requested int) int {
 	w := requested
+	if w <= 0 && h != nil {
+		w = h.cfg.Worlds
+	}
 	if w <= 0 {
 		w = s.Worlds
 	}
@@ -442,12 +790,30 @@ func (s *Server) worlds(requested int) int {
 		w = query.DefaultWorlds()
 	}
 	// The cap bounds every request, including ones that fall back to a
-	// misconfigured server default larger than MaxWorlds; explicit
-	// over-cap requests were already rejected by validate.
+	// misconfigured default larger than MaxWorlds; explicit over-cap
+	// requests were already rejected by validate.
 	if max := s.maxWorlds(); w > max {
 		w = max
 	}
 	return w
+}
+
+// defaultWorlds is the server-level default (no graph override in
+// play), reported by /healthz.
+func (s *Server) defaultWorlds() int { return s.worlds(nil, 0) }
+
+func (s *Server) effTolerance(h *graphHandle) float64 {
+	if h.cfg.Tolerance > 0 {
+		return h.cfg.Tolerance
+	}
+	return s.Tolerance
+}
+
+func (s *Server) effMemBudget(cfg GraphConfig) int64 {
+	if cfg.MemoryBudget > 0 {
+		return cfg.MemoryBudget
+	}
+	return s.memoryBudget()
 }
 
 func (s *Server) maxWorlds() int {
@@ -478,36 +844,34 @@ func (s *Server) maxKNNSources() int {
 	return DefaultMaxKNNSources
 }
 
+func (s *Server) maxUploadBytes() int64 {
+	if s.MaxUploadBytes > 0 {
+		return s.MaxUploadBytes
+	}
+	return DefaultMaxUploadBytes
+}
+
 // requestSeed maps a request to its world-stream seed: the pinned seed
-// when given, otherwise a derivation from the server's base seed and
-// the request content, so identical requests return identical answers.
-// Tolerance is deliberately excluded from the derivation: an adaptive
-// run is a prefix of the fixed run's world stream, so requests that
-// differ only in tolerance should share one stream — the tighter run
-// extends the looser one rather than resampling.
-func (s *Server) requestSeed(req *BatchRequest, worlds int) int64 {
+// when given, otherwise a derivation from the server's base seed, the
+// graph's registry name and the request content, so identical requests
+// against the same graph return identical answers — including across
+// an evict/reload cycle, whose reloaded graph is parsed from the same
+// source bytes. Hashing the name keeps equal-shaped requests against
+// different graphs on decorrelated world streams. Tolerance is
+// deliberately excluded from the derivation: an adaptive run is a
+// prefix of the fixed run's world stream, so requests that differ only
+// in tolerance should share one stream — the tighter run extends the
+// looser one rather than resampling.
+func (s *Server) requestSeed(name string, req *BatchRequest, worlds int) int64 {
 	if req.Seed != nil {
 		return *req.Seed
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d", worlds)
+	fmt.Fprintf(h, "%s|%d", name, worlds)
 	for _, q := range req.Queries {
 		fmt.Fprintf(h, "|%s:%d:%d:%d", q.Op, q.S, q.T, q.K)
 	}
 	return randx.Derive(s.Seed, h.Sum64())
-}
-
-// acquire returns a reset batch from the pool, or a fresh one when the
-// pool is empty. The server's memory budget is stamped before Reset so
-// a pooled batch sheds high-water accumulators from a previous request
-// right here, and never retains more than the budget across requests.
-func (s *Server) acquire() *query.Batch {
-	if b, ok := s.pool.Get().(*query.Batch); ok {
-		b.MemoryBudget = s.memoryBudget()
-		b.Reset()
-		return b
-	}
-	return query.NewBatch(s.G, query.Config{MemoryBudget: s.memoryBudget()})
 }
 
 func intParam(r *http.Request, name string) (int, error) {

@@ -1,0 +1,120 @@
+package query
+
+import (
+	"context"
+	"testing"
+
+	"uncertaingraph/internal/uncertain"
+)
+
+// TestBatchPoolReuseAndBinding covers the serving-layer contract: Get
+// hands out batches bound to the pool's graph with the template config
+// stamped, Put recycles them, and a recycled batch answers the next
+// request identically to a fresh one.
+func TestBatchPoolReuseAndBinding(t *testing.T) {
+	g := chainGraph(t, 6, 0.7)
+	cfg := Config{Worlds: 200, Seed: 9}
+	p := NewBatchPool(g, cfg)
+	if p.Graph() != g {
+		t.Fatal("pool not bound to its graph")
+	}
+
+	run := func(b *Batch) float64 {
+		t.Helper()
+		b.Worlds, b.Seed = cfg.Worlds, cfg.Seed
+		i := b.AddReliability(0, 5)
+		if err := b.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return b.Reliability(i)
+	}
+
+	b1 := p.Get()
+	if b1.Graph() != g || b1.Worlds != cfg.Worlds || b1.Seed != cfg.Seed {
+		t.Fatalf("Get: graph/config not stamped: worlds=%d seed=%d", b1.Worlds, b1.Seed)
+	}
+	fresh := run(b1)
+	p.Put(b1)
+
+	b2 := p.Get() // very likely b1 recycled; either way must be reset + identical
+	if n := b2.NumQueries(); n != 0 {
+		t.Fatalf("recycled batch carries %d stale queries", n)
+	}
+	if got := run(b2); got != fresh {
+		t.Errorf("recycled batch answered %v, fresh answered %v", got, fresh)
+	}
+	p.Put(b2)
+}
+
+// TestBatchPoolDropsForeignBatch pins the anti-leakage guard: a batch
+// bound to a different graph is never pooled, so Get can only ever
+// return batches over this pool's graph.
+func TestBatchPoolDropsForeignBatch(t *testing.T) {
+	gA := chainGraph(t, 5, 0.5)
+	gB := chainGraph(t, 7, 0.5)
+	p := NewBatchPool(gA, Config{Worlds: 8, Seed: 1})
+
+	p.Put(nil) // no-op, must not panic
+	p.Put(NewBatch(gB, Config{Worlds: 8, Seed: 1}))
+	for i := 0; i < 8; i++ {
+		if b := p.Get(); b.Graph() != gA {
+			t.Fatalf("Get #%d returned a batch bound to a foreign graph", i)
+		}
+	}
+}
+
+// TestBatchPoolShedsOverBudgetOnGet pins that pooling cannot hoard
+// memory past the graph's budget: Get stamps the template MemoryBudget
+// before Reset, so accumulators a previous request grew above it are
+// shed right there, not retained across requests.
+func TestBatchPoolShedsOverBudgetOnGet(t *testing.T) {
+	g := chainGraph(t, 16, 0.5)
+	budget := WorstCaseAccumBytes(16, 1, 1)
+	p := NewBatchPool(g, Config{Worlds: 16, Seed: 3, MemoryBudget: budget})
+
+	// Grow a batch's accumulators well past the budget by bypassing the
+	// template (as a request with a pinned larger budget would).
+	b := p.Get()
+	b.MemoryBudget = 0 // unlimited for this request
+	for s := 0; s < 8; s++ {
+		b.AddKNearest(s, 3)
+	}
+	if err := b.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if grown := b.AccumulatorBytes(); grown <= budget {
+		t.Fatalf("fixture too small: grew only %d bytes, budget %d", grown, budget)
+	}
+	p.Put(b)
+
+	got := p.Get()
+	if got.MemoryBudget != budget {
+		t.Errorf("Get stamped MemoryBudget %d, want template %d", got.MemoryBudget, budget)
+	}
+	if kept := got.AccumulatorBytes(); kept > budget {
+		t.Errorf("recycled batch retains %d accumulator bytes, budget %d", kept, budget)
+	}
+}
+
+// TestFootprintBytesMatchesLayout ties the serving layer's residency
+// accounting to the graph layout: pairs are 24 bytes, incidence
+// offsets 8, incidence entries 4 (two per pair).
+func TestFootprintBytesMatchesLayout(t *testing.T) {
+	g, err := uncertain.New(5, []uncertain.Pair{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 pairs ×24 + (5+1) offsets ×8 + 6 incidence entries ×4.
+	if got, want := g.FootprintBytes(), int64(3*24+6*8+6*4); got != want {
+		t.Errorf("FootprintBytes = %d, want %d", got, want)
+	}
+	empty, err := uncertain.New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := empty.FootprintBytes(), int64(3*8); got != want {
+		t.Errorf("empty graph FootprintBytes = %d, want %d (offsets only)", got, want)
+	}
+}

@@ -108,6 +108,18 @@ func (g *Graph) NumPairs() int { return len(g.pairs) }
 // modified.
 func (g *Graph) Pairs() []Pair { return g.pairs }
 
+// FootprintBytes estimates the resident heap bytes of the graph's
+// backing arrays: the candidate-pair list plus the CSR incident index.
+// Derived per-query state (samplers, BFS scratch, accumulators) is
+// deliberately excluded — this is the cost of keeping a published
+// graph itself loaded, the quantity a serving registry charges against
+// its global memory budget.
+func (g *Graph) FootprintBytes() int64 {
+	const pairBytes = 24 // Pair{U, V int; P float64} on 64-bit
+	return int64(len(g.pairs))*pairBytes +
+		int64(len(g.incOff))*8 + int64(len(g.incIdx))*4
+}
+
 // Incident returns the indices into Pairs of the candidate pairs
 // incident to v, in candidate-list order: a subslice of the flat CSR
 // index, shared with the graph and not to be modified.

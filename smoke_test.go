@@ -282,6 +282,118 @@ func TestSmokeQueryd(t *testing.T) {
 	wantLines(t, rest.String(), "queryd: shutting down", "queryd: shutdown complete")
 }
 
+// TestSmokeQuerydMultiGraph boots the daemon on a directory of
+// published graphs and exercises the multi-tenant surface end to end:
+// named query endpoints, the graph list, /healthz echoing -max-queries
+// and the registry stats, uploading a new graph over HTTP, deleting
+// it, and the 404 for unknown names.
+func TestSmokeQuerydMultiGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the toolchain")
+	}
+	dir := buildSmokeBinaries(t)
+
+	// Two published releases in one directory, named by basename.
+	relDir := t.TempDir()
+	writeGraph := func(name string, n int, seed int64) string {
+		g := ugen.HolmeKim(randx.New(seed), n, 3, 0.3)
+		var pairs []ug.Pair
+		g.ForEachEdge(func(u, v int) {
+			pairs = append(pairs, ug.Pair{U: u, V: v, P: float64((u+v)%9+1) / 10})
+		})
+		pub, err := ug.NewUncertainGraph(g.NumVertices(), pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(relDir, name+".ug")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ug.WriteUncertainGraph(f, pub); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+	writeGraph("epoch1", 80, 3)
+	epoch2 := writeGraph("epoch2", 90, 4)
+
+	cmd := exec.Command(filepath.Join(dir, "queryd"),
+		"-graphs", relDir, "-addr", "127.0.0.1:0",
+		"-worlds", "100", "-seed", "7", "-max-queries", "37")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("queryd printed no address line: %v", sc.Err())
+	}
+	line := sc.Text()
+	wantLines(t, line, "across 2 graph(s)")
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("no address in queryd output %q", line)
+	}
+	base := line[i:]
+
+	do := func(method, path string, body io.Reader, wantStatus int) string {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s %s: status %d, want %d: %s", method, path, resp.StatusCode, wantStatus, b)
+		}
+		return string(b)
+	}
+
+	wantLines(t, do("GET", "/healthz", nil, 200),
+		`"max_queries":37`, `"registry":`, `"epoch1"`, `"epoch2"`)
+	wantLines(t, do("GET", "/graphs", nil, 200),
+		`"epoch1"`, `"epoch2"`, `"resident_bytes":`, `"global_mem_budget":`)
+	wantLines(t, do("GET", "/graphs/epoch1/reliability?s=0&t=40", nil, 200),
+		`"reliability":`, `"graph":"epoch1"`)
+	wantLines(t, do("GET", "/graphs/epoch2/knn?s=0&k=3", nil, 200),
+		`"neighbors":`, `"graph":"epoch2"`)
+	do("GET", "/graphs/nosuch/reliability?s=0&t=1", nil, 404)
+	// No -graph and two graphs loaded: there is no default, so the
+	// legacy alias 404s while the named endpoints serve.
+	do("GET", "/reliability?s=0&t=1", nil, 404)
+
+	// Publish a third graph over HTTP and query it, then delete it.
+	src, err := os.ReadFile(epoch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines(t, do("PUT", "/graphs/epoch3?worlds=50", strings.NewReader(string(src)), 200),
+		`"created":true`, `"worlds":50`)
+	wantLines(t, do("GET", "/graphs/epoch3/reliability?s=0&t=40", nil, 200),
+		`"worlds":50`)
+	do("DELETE", "/graphs/epoch3", nil, 200)
+	do("GET", "/graphs/epoch3/reliability?s=0&t=40", nil, 404)
+}
+
 func TestSmokeExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke tests exec the toolchain")
