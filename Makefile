@@ -6,7 +6,7 @@ GO ?= go
 # Label stamped onto bench-sampling runs in BENCH_sampling.json.
 BENCH_LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: build test race vet fmt-check seed-check lint cover bench bench-sampling bench-query bench-obfuscate bench-bfs bench-qserve ci
+.PHONY: build test race vet fmt-check seed-check lint cover bench bench-sampling bench-query bench-obfuscate bench-bfs bench-qserve bench-io ci
 
 # Total-coverage floor enforced by `make cover`. 75.9% measured when
 # the target was introduced (PR 5); raise it as coverage grows, never
@@ -137,6 +137,20 @@ bench-qserve:
 	status=$$?; \
 	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
 	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_qserve.json < "$$tmp"; \
+	status=$$?; rm -f "$$tmp"; exit $$status
+
+# Cold-load benchmarks (text parse vs mmap'd .ugb of the same graph),
+# appended as a JSON record to BENCH_io.json. The pair is the on-disk
+# format's acceptance bar: UGB must cold-start >= 5x faster than the
+# text parse with allocations independent of graph size.
+bench-io:
+	@tmp="$$(mktemp)"; \
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkColdLoadText$$|BenchmarkColdLoadUGB$$' \
+		-benchmem -benchtime 10x ./internal/ugbin > "$$tmp" 2>&1; \
+	status=$$?; \
+	if [ $$status -ne 0 ]; then cat "$$tmp"; rm -f "$$tmp"; exit $$status; fi; \
+	$(GO) run ./cmd/benchfmt -label "$(BENCH_LABEL)" -file BENCH_io.json < "$$tmp"; \
 	status=$$?; rm -f "$$tmp"; exit $$status
 
 ci: build lint test race

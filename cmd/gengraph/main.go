@@ -1,10 +1,20 @@
 // Command gengraph generates synthetic graphs: the repository's
 // dblp/flickr/y360 stand-ins at any scale, or generic random graphs.
+// It also converts published uncertain graphs between the text (.ug)
+// and binary (.ugb) on-disk formats.
 //
 // Usage:
 //
 //	gengraph -dataset dblp -scale tiny -out dblp.edges
 //	gengraph -model ba -n 10000 -m 3 -out ba.edges
+//	gengraph -convert published.ug -o published.ugb
+//	gengraph -convert published.ugb -format text -o published.ug
+//
+// -convert reads an existing uncertain graph (text or binary, sniffed
+// by magic) and rewrites it in -format, which defaults to binary in
+// conversion mode — the common direction is text release → mmap-ready
+// .ugb. Generation with -format binary lifts the certain graph to an
+// uncertain one (every edge probability 1) and writes .ugb.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 )
 
 func main() {
+	var out string
 	var (
 		dataset = flag.String("dataset", "", "dataset stand-in to generate (dblp|flickr|y360)")
 		scale   = flag.String("scale", "tiny", "dataset scale (tiny|small|medium|large)")
@@ -27,9 +38,22 @@ func main() {
 		m       = flag.Int("m", 3, "edges per vertex (ba), edge count (er), ring degree (ws)")
 		beta    = flag.Float64("beta", 0.1, "rewiring probability (ws)")
 		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output path (default stdout)")
+		convert = flag.String("convert", "", "uncertain graph to convert instead of generating (text .ug or binary .ugb, sniffed by magic)")
+		format  = flag.String("format", "", "output format: text or binary (default text when generating, binary when converting)")
 	)
+	flag.StringVar(&out, "out", "", "output path (default stdout)")
+	flag.StringVar(&out, "o", "", "output path (alias for -out)")
 	flag.Parse()
+
+	if *convert != "" {
+		if *dataset != "" || *model != "" {
+			fatal(fmt.Errorf("-convert excludes -dataset/-model"))
+		}
+		if err := runConvert(*convert, out, *format); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var g *ug.Graph
 	switch {
@@ -50,23 +74,88 @@ func main() {
 	case *model == "ws":
 		g = gen.WattsStrogatz(randx.New(*seed), *n, *m, *beta)
 	default:
-		fatal(fmt.Errorf("need -dataset or -model (er|ba|ws)"))
+		fatal(fmt.Errorf("need -dataset, -model (er|ba|ws) or -convert"))
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	w, closeOut := outputWriter(out)
+	defer closeOut()
+	switch *format {
+	case "", "text":
+		if err := ug.WriteGraph(w, g); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := ug.WriteGraph(w, g); err != nil {
-		fatal(err)
+	case "binary":
+		// The binary format stores uncertain graphs; a generated
+		// certain graph is lifted with all-probability-one edges.
+		if err := ug.WriteUncertainGraphBinary(w, ug.CertainGraph(g)); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("-format %q: want text or binary", *format))
 	}
 	fmt.Fprintf(os.Stderr, "generated: %d vertices, %d edges, avg degree %.2f\n",
 		g.NumVertices(), g.NumEdges(), g.AverageDegree())
+}
+
+// runConvert rewrites the uncertain graph at in (format sniffed by
+// magic) to out in the requested format — binary unless -format text.
+func runConvert(in, out, format string) error {
+	switch format {
+	case "":
+		format = "binary"
+	case "text", "binary":
+	default:
+		return fmt.Errorf("-format %q: want text or binary", format)
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	var g *ug.UncertainGraph
+	if ug.SniffUncertainGraphBinary(data) {
+		g, err = ug.DecodeUncertainGraphBinary(data)
+	} else {
+		f, ferr := os.Open(in)
+		if ferr != nil {
+			return ferr
+		}
+		g, err = ug.ReadUncertainGraph(f)
+		f.Close()
+	}
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", in, err)
+	}
+	w, closeOut := outputWriter(out)
+	defer closeOut()
+	if format == "binary" {
+		err = ug.WriteUncertainGraphBinary(w, g)
+	} else {
+		err = ug.WriteUncertainGraph(w, g)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "converted: %d vertices, %d candidate pairs to %s\n",
+		g.NumVertices(), g.NumPairs(), format)
+	return nil
+}
+
+// outputWriter opens path for writing, defaulting to stdout; the
+// returned func flushes-by-closing and reports failures fatally, so
+// short writes cannot masquerade as success.
+func outputWriter(path string) (*os.File, func()) {
+	if path == "" {
+		return os.Stdout, func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f, func() {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	obfuscate -in graph.edges -k 20 -eps 0.01 -out published.ug
+//	obfuscate -in graph.edges -k 20 -eps 0.01 -format binary -out published.ugb
+//
+// -format selects the output serialization: text (the default "u v p"
+// lines) or binary (the mmap-ready .ugb format cmd/queryd cold-starts
+// from without parsing).
 package main
 
 import (
@@ -31,8 +36,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed (0 behaves as 1)")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = all CPUs); results are identical for every value")
 		progress = flag.Bool("progress", false, "report σ-probe progress on stderr")
+		format   = flag.String("format", "text", "output format: text (\"u v p\" lines) or binary (.ugb)")
 	)
 	flag.Parse()
+	if *format != "text" && *format != "binary" {
+		fatal(fmt.Errorf("-format %q: want text or binary", *format))
+	}
 
 	r := os.Stdin
 	if *in != "" {
@@ -90,10 +99,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 		w = f
 	}
-	if err := ug.WriteUncertainGraph(w, res.G); err != nil {
+	if *format == "binary" {
+		err = ug.WriteUncertainGraphBinary(w, res.G)
+	} else {
+		err = ug.WriteUncertainGraph(w, res.G)
+	}
+	if err != nil {
 		fatal(err)
 	}
 }

@@ -13,12 +13,21 @@
 //	       [-max-worlds 20000] [-max-queries 1024]
 //	       [-mem-budget 1073741824] [-max-knn-sources 64]
 //	       [-global-mem-budget 8589934592] [-tolerance 0.05]
+//	       [-load-mode auto|mmap|heap]
 //
 // -graph loads one file and makes it the default graph (the legacy
-// alias endpoints resolve to it); -graphs loads every *.ug in a
-// directory, each named by its basename. At least one is required, and
-// both compose. When exactly one graph is loaded it becomes the
-// default either way.
+// alias endpoints resolve to it); -graphs loads every *.ug and *.ugb
+// in a directory, each named by its basename. At least one is
+// required, and both compose. When exactly one graph is loaded it
+// becomes the default either way.
+//
+// Formats are sniffed by magic, not extension: text files are parsed,
+// binary .ugb files (see gengraph -convert / obfuscate -format binary)
+// are memory-mapped, so their cold start is a page-table setup rather
+// than a parse and their arrays live in the shared page cache.
+// -load-mode overrides the mapping policy: auto (the default) maps where
+// the platform supports it, mmap requires it, heap always reads into
+// private memory.
 //
 // Endpoints:
 //
@@ -65,6 +74,7 @@ import (
 	"time"
 
 	"uncertaingraph/internal/qserve"
+	"uncertaingraph/internal/ugbin"
 )
 
 func main() {
@@ -83,6 +93,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base seed for content-derived request streams")
 		tol        = flag.Float64("tolerance", 0, "default adaptive-precision tolerance: requests stop sampling once every query's relative SEM is at most this (0 disables; requests may override via the \"tolerance\" field)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
+		loadMode   = flag.String("load-mode", "auto", "how binary .ugb graphs are brought into memory: auto (mmap where supported), mmap (required), heap (always copy)")
 	)
 	flag.Parse()
 	if *gin == "" && *gdir == "" {
@@ -97,6 +108,10 @@ func main() {
 	if *globalMem < 1 {
 		fatal(fmt.Errorf("-global-mem-budget %d must be >= 1", *globalMem))
 	}
+	mode, err := ugbin.ParseMode(*loadMode)
+	if err != nil {
+		fatal(err)
+	}
 
 	srv := &qserve.Server{
 		Worlds:          *worlds,
@@ -109,6 +124,7 @@ func main() {
 		MaxKNNSources:   *maxKNN,
 		GlobalMemBudget: *globalMem,
 		MaxGraphs:       *maxGraphs,
+		BinaryLoadMode:  mode,
 	}
 
 	if *gdir != "" {
@@ -116,8 +132,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		binPaths, err := filepath.Glob(filepath.Join(*gdir, "*.ugb"))
+		if err != nil {
+			fatal(err)
+		}
+		paths = append(paths, binPaths...)
 		if len(paths) == 0 {
-			fatal(fmt.Errorf("-graphs %s: no *.ug files", *gdir))
+			fatal(fmt.Errorf("-graphs %s: no *.ug or *.ugb files", *gdir))
 		}
 		sort.Strings(paths)
 		for _, p := range paths {
@@ -158,8 +179,12 @@ func main() {
 		if g.Name == srv.DefaultGraph {
 			def = " (default)"
 		}
-		fmt.Printf("queryd: graph %q: %d vertices / %d candidate pairs / %d resident bytes%s\n",
-			g.Name, g.Vertices, g.Pairs, g.ResidentBytes, def)
+		mem := fmt.Sprintf("%d resident bytes", g.ResidentBytes)
+		if g.MappedBytes > 0 {
+			mem = fmt.Sprintf("%d mapped bytes", g.MappedBytes)
+		}
+		fmt.Printf("queryd: graph %q: %d vertices / %d candidate pairs / %s%s\n",
+			g.Name, g.Vertices, g.Pairs, mem, def)
 	}
 	httpServer := &http.Server{
 		Handler: srv.Handler(),
@@ -202,9 +227,14 @@ func main() {
 }
 
 // graphName derives a registry name from a graph file path: the
-// basename with the .ug suffix dropped.
+// basename with the .ug or .ugb suffix dropped — so releases/d.ug and
+// releases/d.ugb are alternate serializations of one name, not two
+// graphs (loading both from one directory keeps the last in sort
+// order, the binary).
 func graphName(p string) string {
-	return strings.TrimSuffix(filepath.Base(p), ".ug")
+	base := filepath.Base(p)
+	base = strings.TrimSuffix(base, ".ugb")
+	return strings.TrimSuffix(base, ".ug")
 }
 
 func fatal(err error) {

@@ -98,6 +98,21 @@
 // reloads from its retained source on the next request and answers
 // bit-identically. See the README's "Multi-tenant serving" section.
 //
+// Published graphs serialize two ways. WriteUncertainGraph emits the
+// line-oriented "u v p" text format; WriteUncertainGraphBinary emits
+// the versioned, checksummed binary .ugb container whose sections are
+// exactly the graph's in-memory columnar arrays, so
+// LoadUncertainGraphBinary brings a file up by memory-mapping it
+// (falling back to a heap read where mmap is unavailable) with zero
+// parsing and zero allocation proportional to graph size — cold starts
+// and post-eviction reloads cost a page-table setup instead of a
+// parse, and answers are bit-identical across both load paths.
+// DecodeUncertainGraphBinary adopts in-memory .ugb bytes zero-copy and
+// SniffUncertainGraphBinary routes between the formats by magic;
+// cmd/queryd sniffs uploads and *.ug/*.ugb files the same way, and
+// gengraph -convert / obfuscate -format binary produce the files. See
+// the README's "On-disk format & cold start" section.
+//
 // The primary names carry the v2 signatures; each v1 behaviour stays
 // reachable for one release through a thin deprecated wrapper
 // (ObfuscateWithParams, StatisticsWithConfig,

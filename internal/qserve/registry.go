@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
 	"unicode/utf8"
 
 	"uncertaingraph/internal/query"
+	"uncertaingraph/internal/ugbin"
 	"uncertaingraph/internal/uncertain"
 )
 
@@ -57,6 +59,13 @@ type GraphStats struct {
 	Vertices      int    `json:"vertices"`
 	Pairs         int    `json:"pairs"`
 	ResidentBytes int64  `json:"resident_bytes"`
+	// MappedBytes is the externally backed memory the loaded graph's
+	// arrays alias — an mmap'd .ugb file (page cache, shared across
+	// processes) or retained upload bytes adopted zero-copy. Such
+	// graphs cost ResidentBytes ≈ 0, are exempt from LRU eviction
+	// (evicting them would free nothing the budget meters), and make
+	// cold starts a page-table setup instead of a parse.
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
 	// Hits counts requests served while the graph was resident; Misses
 	// counts requests that had to reload it after an eviction;
 	// Evictions counts how many times it was dropped under the global
@@ -75,6 +84,7 @@ type RegistryStats struct {
 	Graphs          int    `json:"graphs"`
 	Loaded          int    `json:"loaded"`
 	ResidentBytes   int64  `json:"resident_bytes"`
+	MappedBytes     int64  `json:"mapped_bytes,omitempty"`
 	GlobalMemBudget int64  `json:"global_mem_budget"`
 	Evictions       uint64 `json:"evictions"`
 }
@@ -93,9 +103,10 @@ type graphEntry struct {
 
 	vertices, npairs int
 
-	g     *uncertain.Graph // nil while evicted
-	pool  *query.BatchPool // regenerated with g; nil while evicted
-	bytes int64            // FootprintBytes of g while loaded
+	g      *uncertain.Graph // nil while evicted
+	pool   *query.BatchPool // regenerated with g; nil while evicted
+	bytes  int64            // FootprintBytes of g while loaded
+	mapped int64            // MappedBytes of g while loaded
 
 	lastUse                 uint64
 	hits, misses, evictions uint64
@@ -132,11 +143,17 @@ type Registry struct {
 	// the server injects its effective-budget resolution here. Nil
 	// falls back to an unbudgeted pool.
 	NewPool func(g *uncertain.Graph, cfg GraphConfig) *query.BatchPool
+	// BinaryLoadMode selects how .ugb files are brought into memory
+	// (publish and post-eviction reload alike). The zero value is
+	// ugbin.ModeAuto: mmap where the platform supports it, heap read
+	// otherwise.
+	BinaryLoadMode ugbin.Mode
 
 	mu        sync.Mutex
 	graphs    map[string]*graphEntry
 	clock     uint64
 	resident  int64
+	mapped    int64
 	evictions uint64
 }
 
@@ -187,28 +204,41 @@ func (r *Registry) newPool(g *uncertain.Graph, cfg GraphConfig) *query.BatchPool
 
 // Publish registers (or replaces) a source-backed graph parsed from
 // src, keeps src for reloads, and returns the graph's stats plus
-// whether the name was new. The parsed copy is resident on return;
-// publishing may evict colder graphs to fit it under the global
-// budget.
+// whether the name was new. The format is sniffed by magic: binary
+// .ugb bytes are adopted zero-copy (the graph aliases the retained
+// src), anything else parses as the "u v p" text format. The loaded
+// copy is resident on return; publishing may evict colder graphs to
+// fit it under the global budget.
 func (r *Registry) Publish(name string, src []byte, cfg GraphConfig) (GraphStats, bool, error) {
 	if err := validateGraphName(name); err != nil {
 		return GraphStats{}, false, err
 	}
-	g, err := uncertain.Read(bytes.NewReader(src))
+	g, err := readGraphBytes(src)
 	if err != nil {
 		return GraphStats{}, false, fmt.Errorf("parsing graph %q: %w", name, err)
 	}
 	return r.install(name, g, src, "", cfg)
 }
 
+// readGraphBytes loads a serialized graph held in memory, routing on
+// the .ugb magic.
+func readGraphBytes(src []byte) (*uncertain.Graph, error) {
+	if ugbin.Sniff(src) {
+		return ugbin.Decode(src)
+	}
+	return uncertain.Read(bytes.NewReader(src))
+}
+
 // PublishFile registers (or replaces) a path-backed graph: the file is
-// parsed now and re-read on every post-eviction reload, so the
-// registry holds no copy of the serialized form.
+// loaded now and re-read on every post-eviction reload, so the
+// registry holds no copy of the serialized form. The format is sniffed
+// by magic — a .ugb file is memory-mapped (per BinaryLoadMode), text
+// is parsed.
 func (r *Registry) PublishFile(name, path string, cfg GraphConfig) (GraphStats, error) {
 	if err := validateGraphName(name); err != nil {
 		return GraphStats{}, err
 	}
-	g, err := readGraphFile(path)
+	g, err := readGraphFile(path, r.BinaryLoadMode)
 	if err != nil {
 		return GraphStats{}, err
 	}
@@ -216,12 +246,27 @@ func (r *Registry) PublishFile(name, path string, cfg GraphConfig) (GraphStats, 
 	return st, err
 }
 
-func readGraphFile(path string) (*uncertain.Graph, error) {
+// readGraphFile loads the graph at path, routing on the .ugb magic: a
+// binary file goes through ugbin (mmap by default — loading is a
+// page-table setup, not a parse), anything else through the text
+// reader.
+func readGraphFile(path string, mode ugbin.Mode) (*uncertain.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	var magic [8]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if ugbin.Sniff(magic[:n]) {
+		return ugbin.LoadMode(path, mode)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
 	g, err := uncertain.Read(f)
 	if err != nil {
 		return nil, fmt.Errorf("parsing %s: %w", path, err)
@@ -248,14 +293,17 @@ func (r *Registry) install(name string, g *uncertain.Graph, src []byte, path str
 		r.graphs[name] = e
 	} else if e.g != nil {
 		r.resident -= e.bytes
+		r.mapped -= e.mapped
 	}
 	e.cfg = cfg
 	e.source, e.path = src, path
 	e.vertices, e.npairs = g.NumVertices(), g.NumPairs()
 	e.g = g
 	e.bytes = g.FootprintBytes()
+	e.mapped = g.MappedBytes()
 	e.pool = r.newPool(g, cfg)
 	r.resident += e.bytes
+	r.mapped += e.mapped
 	r.clock++
 	e.lastUse = r.clock
 	r.enforceBudgetLocked(e)
@@ -273,6 +321,7 @@ func (r *Registry) Delete(name string) bool {
 	}
 	if e.g != nil {
 		r.resident -= e.bytes
+		r.mapped -= e.mapped
 	}
 	delete(r.graphs, name)
 	return true
@@ -291,15 +340,17 @@ func (r *Registry) acquire(name string) (*graphHandle, error) {
 	r.clock++
 	e.lastUse = r.clock
 	if e.g == nil {
-		g, err := e.reload()
+		g, err := e.reload(r.BinaryLoadMode)
 		if err != nil {
 			return nil, fmt.Errorf("reloading graph %q: %w", name, err)
 		}
 		e.g = g
 		e.bytes = g.FootprintBytes()
+		e.mapped = g.MappedBytes()
 		e.pool = r.newPool(g, e.cfg)
 		e.misses++
 		r.resident += e.bytes
+		r.mapped += e.mapped
 		r.enforceBudgetLocked(e)
 	} else {
 		e.hits++
@@ -307,22 +358,29 @@ func (r *Registry) acquire(name string) (*graphHandle, error) {
 	return &graphHandle{name: e.name, g: e.g, pool: e.pool, cfg: e.cfg}, nil
 }
 
-func (e *graphEntry) reload() (*uncertain.Graph, error) {
+// reload rebuilds the resident copy from the entry's durable source.
+// Both branches sniff the format again, so a path-backed .ugb comes
+// back via mmap (an eviction miss costs a page-table setup, not a
+// parse) and zero-copy uploaded binaries re-adopt the retained bytes.
+func (e *graphEntry) reload(mode ugbin.Mode) (*uncertain.Graph, error) {
 	if e.path != "" {
-		return readGraphFile(e.path)
+		return readGraphFile(e.path, mode)
 	}
-	return uncertain.Read(bytes.NewReader(e.source))
+	return readGraphBytes(e.source)
 }
 
 // enforceBudgetLocked evicts least-recently-used loaded graphs until
 // the resident total fits the global budget, never evicting keep (the
-// graph the current operation is about to serve).
+// graph the current operation is about to serve). Graphs with zero
+// footprint — mmap'd or zero-copy binaries, whose memory the budget
+// does not meter — are never victims: dropping them would free nothing
+// while forcing a remap on the next request.
 func (r *Registry) enforceBudgetLocked(keep *graphEntry) {
 	budget := r.globalBudget()
 	for r.resident > budget {
 		var victim *graphEntry
 		for _, e := range r.graphs {
-			if e.g == nil || e == keep {
+			if e.g == nil || e == keep || e.bytes == 0 {
 				continue
 			}
 			if victim == nil || e.lastUse < victim.lastUse {
@@ -333,7 +391,8 @@ func (r *Registry) enforceBudgetLocked(keep *graphEntry) {
 			return
 		}
 		r.resident -= victim.bytes
-		victim.g, victim.pool, victim.bytes = nil, nil, 0
+		r.mapped -= victim.mapped
+		victim.g, victim.pool, victim.bytes, victim.mapped = nil, nil, 0, 0
 		victim.evictions++
 		r.evictions++
 	}
@@ -346,6 +405,7 @@ func (r *Registry) statsLocked(e *graphEntry) GraphStats {
 		Vertices:      e.vertices,
 		Pairs:         e.npairs,
 		ResidentBytes: e.bytes,
+		MappedBytes:   e.mapped,
 		Hits:          e.hits,
 		Misses:        e.misses,
 		Evictions:     e.evictions,
@@ -373,6 +433,7 @@ func (r *Registry) Stats() ([]GraphStats, RegistryStats) {
 		Graphs:          len(r.graphs),
 		Loaded:          loaded,
 		ResidentBytes:   r.resident,
+		MappedBytes:     r.mapped,
 		GlobalMemBudget: r.globalBudget(),
 		Evictions:       r.evictions,
 	}

@@ -7,10 +7,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
+	"uncertaingraph/internal/ugbin"
 	"uncertaingraph/internal/uncertain"
 )
 
@@ -567,5 +569,141 @@ func TestRegistryConcurrentChurn(t *testing.T) {
 	_, totals := srv.GraphStats()
 	if totals.ResidentBytes > srv.GlobalMemBudget {
 		t.Errorf("resident %d bytes exceed the global budget %d after churn", totals.ResidentBytes, srv.GlobalMemBudget)
+	}
+}
+
+// ugbBytes serializes g in the binary .ugb format.
+func ugbBytes(t testing.TB, g *uncertain.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ugbin.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryPublishBitIdenticalToText pins the format-sniffing publish
+// paths: the same graph published as text bytes, binary bytes and a
+// binary file answers every query byte-identically (the request seed
+// hashes the graph *name*, so the three publishes share one under
+// rotating names), and the binary copies report mapped-not-resident
+// memory.
+func TestBinaryPublishBitIdenticalToText(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.ugb")
+	if err := ugbin.WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+
+	const reqBody = `{"queries":[{"op":"reliability","s":0,"t":3},{"op":"distance","s":0,"t":4},{"op":"knn","s":2,"k":3}]}`
+	answers := make(map[string]string)
+	for _, tc := range []string{"text", "binary-upload", "binary-file"} {
+		srv := &Server{Worlds: 200, Seed: 11}
+		var st GraphStats
+		var err error
+		switch tc {
+		case "text":
+			st, _, err = srv.Publish("g", ugBytes(t, g), GraphConfig{})
+		case "binary-upload":
+			st, _, err = srv.Publish("g", ugbBytes(t, g), GraphConfig{})
+		case "binary-file":
+			st, err = srv.PublishFile("g", path, GraphConfig{})
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", tc, err)
+		}
+		if st.Vertices != g.NumVertices() || st.Pairs != g.NumPairs() {
+			t.Errorf("%s: stats %d/%d, want %d/%d", tc, st.Vertices, st.Pairs, g.NumVertices(), g.NumPairs())
+		}
+		if tc == "text" {
+			if st.ResidentBytes == 0 || st.MappedBytes != 0 {
+				t.Errorf("text: resident=%d mapped=%d, want heap-resident", st.ResidentBytes, st.MappedBytes)
+			}
+		} else if st.MappedBytes == 0 || st.ResidentBytes != 0 {
+			// Uploads adopt the retained bytes zero-copy; files mmap
+			// (or, on platforms without mmap, PublishFile would be
+			// heap-resident — this repo's CI targets are all unix).
+			t.Errorf("%s: resident=%d mapped=%d, want mapped-backed", tc, st.ResidentBytes, st.MappedBytes)
+		}
+
+		ts := httptest.NewServer(srv.Handler())
+		resp, err := http.Post(ts.URL+"/graphs/g/batch", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ts.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d (%v): %s", tc, resp.StatusCode, err, b)
+		}
+		answers[tc] = string(b)
+	}
+	for _, tc := range []string{"binary-upload", "binary-file"} {
+		if answers[tc] != answers["text"] {
+			t.Errorf("%s answers diverge from text:\n%s\nvs\n%s", tc, answers[tc], answers["text"])
+		}
+	}
+}
+
+// TestMappedGraphsExemptFromEviction pins the honest-accounting rule: a
+// mapped graph's memory is not metered by the global budget, so it is
+// never chosen as an eviction victim — evicting it would free nothing
+// while forcing a remap.
+func TestMappedGraphsExemptFromEviction(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.ugb")
+	if err := ugbin.WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	fp := g.FootprintBytes()
+	reg := &Registry{GlobalMemBudget: fp + fp/2}
+	if _, err := reg.PublishFile("mapped", path, GraphConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Publish("heap1", ugBytes(t, g), GraphConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	// heap2 pushes resident past the budget; the only evictable victim
+	// is heap1 — "mapped" has zero footprint and must survive.
+	if _, _, err := reg.Publish("heap2", ugBytes(t, g), GraphConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	list, totals := reg.Stats()
+	byName := map[string]GraphStats{}
+	for _, st := range list {
+		byName[st.Name] = st
+	}
+	if !byName["mapped"].Loaded || byName["mapped"].Evictions != 0 {
+		t.Errorf("mapped graph was evicted: %+v", byName["mapped"])
+	}
+	if byName["heap1"].Loaded || byName["heap1"].Evictions != 1 {
+		t.Errorf("heap1 not evicted: %+v", byName["heap1"])
+	}
+	if totals.ResidentBytes != byName["heap2"].ResidentBytes || totals.MappedBytes != byName["mapped"].MappedBytes {
+		t.Errorf("registry totals %+v inconsistent with per-graph stats", totals)
+	}
+
+	// An evicted heap graph reloads via acquire; the mapped graph keeps
+	// serving without ever having missed.
+	h, err := reg.acquire("heap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.g == nil {
+		t.Fatal("acquire returned nil graph")
+	}
+	if h2, err := reg.acquire("mapped"); err != nil || h2.g.MappedBytes() == 0 {
+		t.Errorf("mapped acquire: err=%v", err)
+	}
+	list, _ = reg.Stats()
+	for _, st := range list {
+		byName[st.Name] = st
+	}
+	if byName["heap1"].Misses != 1 {
+		t.Errorf("heap1 misses = %d, want 1", byName["heap1"].Misses)
+	}
+	if byName["mapped"].Misses != 0 || byName["mapped"].Hits != 1 {
+		t.Errorf("mapped counters: %+v, want 1 hit / 0 misses", byName["mapped"])
 	}
 }

@@ -52,6 +52,7 @@ import (
 
 	"uncertaingraph/internal/query"
 	"uncertaingraph/internal/randx"
+	"uncertaingraph/internal/ugbin"
 	"uncertaingraph/internal/uncertain"
 )
 
@@ -135,6 +136,11 @@ type Server struct {
 	// MaxUploadBytes caps one graph-upload body (0 selects
 	// DefaultMaxUploadBytes); larger uploads get HTTP 413.
 	MaxUploadBytes int64
+	// BinaryLoadMode selects how binary .ugb graph files are brought
+	// into memory, at publish and post-eviction reload alike. The zero
+	// value (ugbin.ModeAuto) memory-maps where the platform supports it
+	// and falls back to a heap read elsewhere.
+	BinaryLoadMode ugbin.Mode
 
 	initOnce sync.Once
 	reg      *Registry
@@ -153,6 +159,7 @@ func (s *Server) init() {
 			NewPool: func(g *uncertain.Graph, cfg GraphConfig) *query.BatchPool {
 				return query.NewBatchPool(g, query.Config{MemoryBudget: s.effMemBudget(cfg)})
 			},
+			BinaryLoadMode: s.BinaryLoadMode,
 		}
 		s.defName = s.DefaultGraph
 		if s.G != nil {

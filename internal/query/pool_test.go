@@ -97,8 +97,9 @@ func TestBatchPoolShedsOverBudgetOnGet(t *testing.T) {
 }
 
 // TestFootprintBytesMatchesLayout ties the serving layer's residency
-// accounting to the graph layout: pairs are 24 bytes, incidence
-// offsets 8, incidence entries 4 (two per pair).
+// accounting to the columnar graph layout: pairs are 16 bytes
+// (4+4 endpoints + 8 probability), incidence offsets 8, incidence
+// entries 4 (two per pair).
 func TestFootprintBytesMatchesLayout(t *testing.T) {
 	g, err := uncertain.New(5, []uncertain.Pair{
 		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.5},
@@ -106,9 +107,12 @@ func TestFootprintBytesMatchesLayout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 pairs ×24 + (5+1) offsets ×8 + 6 incidence entries ×4.
-	if got, want := g.FootprintBytes(), int64(3*24+6*8+6*4); got != want {
+	// 3 pairs ×16 + (5+1) offsets ×8 + 6 incidence entries ×4.
+	if got, want := g.FootprintBytes(), int64(3*16+6*8+6*4); got != want {
 		t.Errorf("FootprintBytes = %d, want %d", got, want)
+	}
+	if got := g.MappedBytes(); got != 0 {
+		t.Errorf("heap graph MappedBytes = %d, want 0", got)
 	}
 	empty, err := uncertain.New(2, nil)
 	if err != nil {

@@ -1,0 +1,89 @@
+package ugbin
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"uncertaingraph/internal/uncertain"
+)
+
+// Cold-start fixtures: one ~40k-pair graph serialized both ways, built
+// once per test process. The pair of benchmarks below is the record
+// `make bench-io` appends to BENCH_io.json — the price of a daemon
+// restart (or a registry eviction miss) under each on-disk format.
+var (
+	benchOnce sync.Once
+	benchDir  string
+	benchErr  error
+)
+
+func benchFixtures(b *testing.B) (ugPath, ugbPath string) {
+	benchOnce.Do(func() {
+		benchDir, benchErr = os.MkdirTemp("", "ugbinbench")
+		if benchErr != nil {
+			return
+		}
+		g := testGraph(b, 20000)
+		ugPath := filepath.Join(benchDir, "cold.ug")
+		f, err := os.Create(ugPath)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		if err := uncertain.Write(f, g); err != nil {
+			benchErr = err
+			return
+		}
+		if err := f.Close(); err != nil {
+			benchErr = err
+			return
+		}
+		benchErr = WriteFile(filepath.Join(benchDir, "cold.ugb"), g)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return filepath.Join(benchDir, "cold.ug"), filepath.Join(benchDir, "cold.ugb")
+}
+
+// BenchmarkColdLoadText is the seed ingest path: open the "u v p" text
+// file and parse every line back into a graph.
+func BenchmarkColdLoadText(b *testing.B) {
+	path, _ := benchFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := uncertain.Read(f)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumVertices() != 20000 {
+			b.Fatal("wrong graph")
+		}
+	}
+}
+
+// BenchmarkColdLoadUGB is the binary path: mmap the file, verify the
+// checksum and structure, adopt the sections. No parsing, no per-pair
+// allocation.
+func BenchmarkColdLoadUGB(b *testing.B) {
+	_, path := benchFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := Load(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumVertices() != 20000 {
+			b.Fatal("wrong graph")
+		}
+	}
+}

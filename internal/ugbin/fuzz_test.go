@@ -1,0 +1,62 @@
+package ugbin
+
+import (
+	"bytes"
+	"testing"
+
+	"uncertaingraph/internal/randx"
+)
+
+// FuzzReadUGB throws arbitrary bytes at the binary reader. The
+// contract under attack: truncated, corrupt, oversized-length-header
+// and misaligned inputs must produce a clean error — never a panic,
+// never an allocation sized by an unvalidated header count (Decode is
+// zero-copy, so the only way it could allocate attacker-sized memory
+// is by trusting n/m before checking them against len(data)).
+//
+// Inputs that do decode must behave as full graphs: sampling a world
+// and touching every accessor must not fault, and re-encoding must
+// reproduce the input byte-for-byte (a decoded graph aliases the very
+// sections it was decoded from).
+func FuzzReadUGB(f *testing.F) {
+	for _, n := range []int{0, 2, 17} {
+		f.Add(encode(f, testGraph(f, n)))
+	}
+	// Hostile headers over a valid prefix: oversized counts, absurd
+	// version, truncations, trailing garbage.
+	valid := encode(f, testGraph(f, 9))
+	big := bytes.Clone(valid)
+	putU64(big[24:32], 1<<62)
+	f.Add(big)
+	ver := bytes.Clone(valid)
+	putU32(ver[8:12], 7)
+	f.Add(ver)
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-3])
+	f.Add(append(bytes.Clone(valid), 1, 2, 3))
+	f.Add([]byte(Magic))
+	f.Add([]byte("# uncertain graph: vertices=3 pairs=1\n0 1 0.5\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A decode that succeeded must yield a fully usable graph.
+		rng := randx.New(3)
+		w := g.SampleWorld(rng)
+		if w.NumVertices() != g.NumVertices() {
+			t.Fatalf("world has %d vertices, graph %d", w.NumVertices(), g.NumVertices())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			g.IncidentCount(v)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("re-encoding a decoded graph: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatal("re-encoded bytes differ from the accepted input")
+		}
+	})
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package ugbin
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+var errNoMmap = errors.New("memory mapping is not supported on this platform")
+
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package ugbin
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported selects the ModeAuto fast path at build time; unix
+// builds map, everything else falls back to the heap reader.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and shared (one page-cache
+// copy serves every process mapping the same file). The returned
+// release func unmaps; callers must not touch the slice afterwards.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

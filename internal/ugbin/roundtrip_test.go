@@ -1,0 +1,132 @@
+package ugbin
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"uncertaingraph/internal/datasets"
+	"uncertaingraph/internal/sampling"
+	"uncertaingraph/internal/uncertain"
+)
+
+// dblpUncertain builds the round-trip fixture: the tiny dblp stand-in
+// (566 vertices / 1679 edges, same certain graph the sampling
+// regression suite pins) lifted to an uncertain graph with
+// hash-derived probabilities — deterministic and cheap, no obfuscation
+// search required.
+func dblpUncertain(t testing.TB) *uncertain.Graph {
+	t.Helper()
+	d, err := datasets.Generate(datasets.Specs[0], datasets.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, m := d.Graph.NumVertices(), d.Graph.NumEdges(); n != 566 || m != 1679 {
+		t.Fatalf("fixture drifted: n=%d m=%d, want 566/1679", n, m)
+	}
+	pairs := make([]uncertain.Pair, 0, d.Graph.NumEdges())
+	d.Graph.ForEachEdge(func(u, v int) {
+		h := (u*31 + v*17) % 97
+		pairs = append(pairs, uncertain.Pair{U: u, V: v, P: float64(h+1) / 98})
+	})
+	g, err := uncertain.New(d.Graph.NumVertices(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTextBinaryRoundTrip drives the full conversion chain on the dblp
+// fixture: Write (text) → Read → WriteFile (.ugb) → Load (mmap where
+// supported), asserting the loaded graph is column-identical to the
+// text-parsed one.
+func TestTextBinaryRoundTrip(t *testing.T) {
+	orig := dblpUncertain(t)
+
+	var buf bytes.Buffer
+	if err := uncertain.Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := uncertain.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "dblp.ugb")
+	if err := WriteFile(path, fromText); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc, bc := fromText.Columns(), fromBin.Columns()
+	if !slices.Equal(tc.PairU, bc.PairU) || !slices.Equal(tc.PairV, bc.PairV) ||
+		!slices.Equal(tc.PairP, bc.PairP) || !slices.Equal(tc.IncOff, bc.IncOff) ||
+		!slices.Equal(tc.IncIdx, bc.IncIdx) {
+		t.Fatal("binary-loaded columns differ from text-parsed columns")
+	}
+	if mmapSupported && fromBin.MappedBytes() == 0 {
+		t.Error("Load did not mmap on a platform that supports it")
+	}
+}
+
+// TestMmapPathPinnedStatistics runs the Monte-Carlo estimation pipeline
+// over the mmap-loaded dblp fixture for Workers 1 and 4 and pins the
+// answers two ways: bit-identical to the text-parsed graph's run, and
+// bit-identical to the recorded constants below (produced by the text
+// path when this test was written). Any divergence means the binary
+// load path changed the candidate order, the RNG draw order, or a
+// float summation order.
+func TestMmapPathPinnedStatistics(t *testing.T) {
+	orig := dblpUncertain(t)
+	path := filepath.Join(t.TempDir(), "dblp.ugb")
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pins := map[string]float64{
+		"S_NE":  825.5,
+		"S_AD":  2.9169611307420489,
+		"S_MD":  44.875,
+		"S_DV":  31.884846857870595,
+		"S_APD": 3.5789996808555666,
+		"S_CC":  0.04155943940117926,
+	}
+	const pinnedExactNE = 829.21428571428714
+
+	for _, workers := range []int{1, 4} {
+		cfg := sampling.Config{Worlds: 8, Seed: 21, Workers: workers, Distances: sampling.DistanceExactBFS}
+		refRep, err := sampling.Run(context.Background(), orig, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRep, err := sampling.Run(context.Background(), mapped, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotRep.ExactNE != refRep.ExactNE || gotRep.ExactNE != pinnedExactNE {
+			t.Errorf("workers=%d: ExactNE = %.17g (text %.17g, pinned %.17g)",
+				workers, gotRep.ExactNE, refRep.ExactNE, pinnedExactNE)
+		}
+		for _, name := range sampling.StatNames {
+			got, ref := gotRep.Mean(name), refRep.Mean(name)
+			if got != ref {
+				t.Errorf("workers=%d: %s mean %.17g via mmap, %.17g via text", workers, name, got, ref)
+			}
+			if gotRep.RelSEM(name) != refRep.RelSEM(name) {
+				t.Errorf("workers=%d: %s relSEM diverges between load paths", workers, name)
+			}
+			if want, ok := pins[name]; ok && got != want {
+				t.Errorf("workers=%d: %s mean = %.17g, pinned %.17g", workers, name, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package ugbin
+
+import "unsafe"
+
+// The zero-copy casts between typed arrays and their byte images. The
+// format is host-endian-restricted to little-endian (checked against
+// the header's marker), so a typed view over file bytes is exact. Every
+// byte slice handed to a bytesX helper is produced by layoutFor, whose
+// section offsets are 8-byte aligned over an allocation that is itself
+// 8-byte aligned (mmap returns page-aligned memory; heap buffers are
+// allocated as []uint64), so the alignment asserts never fire on the
+// load paths and guard only future callers.
+
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+// alignedCopy copies b into an 8-byte-aligned buffer.
+func alignedCopy(b []byte) []byte {
+	buf := make([]uint64, (len(b)+7)/8)
+	dst := uint64Bytes(buf)[:len(b)]
+	copy(dst, b)
+	return dst
+}
+
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+func int64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+func float64Bytes(s []float64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+func uint64Bytes(s []uint64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+func bytesInt32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if !aligned8(b) {
+		panic("ugbin: misaligned int32 section")
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func bytesInt64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if !aligned8(b) {
+		panic("ugbin: misaligned int64 section")
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func bytesFloat64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if !aligned8(b) {
+		panic("ugbin: misaligned float64 section")
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -28,7 +28,7 @@ func (g *Graph) ExpectedDegreeVariance() float64 {
 	for v := 0; v < g.n; v++ {
 		var mu, varv float64
 		for _, idx := range g.Incident(v) {
-			p := g.pairs[idx].P
+			p := g.pairP[idx]
 			mu += p
 			varv += p * (1 - p)
 		}
@@ -36,9 +36,9 @@ func (g *Graph) ExpectedDegreeVariance() float64 {
 	}
 	var varSum float64 // Σ_e p(1-p)
 	var muSum float64  // Σ_e p
-	for _, pr := range g.pairs {
-		varSum += pr.P * (1 - pr.P)
-		muSum += pr.P
+	for _, p := range g.pairP {
+		varSum += p * (1 - p)
+		muSum += p
 	}
 	muAD := 2 * muSum / n
 	varAD := 4 * varSum / (n * n)
@@ -60,27 +60,26 @@ func (g *Graph) ExpectedTriangles() float64 {
 			delete(probTo, k)
 		}
 		for _, idx := range g.Incident(v) {
-			pr := g.pairs[idx]
-			other := pr.U
+			other := int(g.pairU[idx])
 			if other == v {
-				other = pr.V
+				other = int(g.pairV[idx])
 			}
-			if other > v && pr.P > 0 {
-				probTo[other] = pr.P
+			if other > v && g.pairP[idx] > 0 {
+				probTo[other] = g.pairP[idx]
 			}
 		}
 		for u, pu := range probTo {
 			for _, idx := range g.Incident(u) {
-				pr := g.pairs[idx]
-				w := pr.U
+				w := int(g.pairU[idx])
 				if w == u {
-					w = pr.V
+					w = int(g.pairV[idx])
 				}
-				if w <= u || pr.P == 0 {
+				p := g.pairP[idx]
+				if w <= u || p == 0 {
 					continue
 				}
 				if pw, ok := probTo[w]; ok {
-					total += pu * pw * pr.P
+					total += pu * pw * p
 				}
 			}
 		}
@@ -97,7 +96,7 @@ func (g *Graph) ExpectedConnectedTriples() float64 {
 	for v := 0; v < g.n; v++ {
 		var mu, varv float64
 		for _, idx := range g.Incident(v) {
-			p := g.pairs[idx].P
+			p := g.pairP[idx]
 			mu += p
 			varv += p * (1 - p)
 		}

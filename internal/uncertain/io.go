@@ -20,11 +20,11 @@ func logOrNegInf(p float64) float64 {
 // one "u v p" line per candidate pair.
 func Write(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# uncertain graph: vertices=%d pairs=%d\n", g.n, len(g.pairs)); err != nil {
+	if _, err := fmt.Fprintf(bw, "# uncertain graph: vertices=%d pairs=%d\n", g.n, len(g.pairP)); err != nil {
 		return err
 	}
-	for _, pr := range g.pairs {
-		if _, err := fmt.Fprintf(bw, "%d %d %g\n", pr.U, pr.V, pr.P); err != nil {
+	for i := range g.pairP {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", g.pairU[i], g.pairV[i], g.pairP[i]); err != nil {
 			return err
 		}
 	}
@@ -32,11 +32,17 @@ func Write(w io.Writer, g *Graph) error {
 }
 
 // Read parses the format produced by Write. The vertex count is taken
-// from the header if present, otherwise inferred as max id + 1.
+// from the header if present, otherwise inferred as max id + 1. A
+// header whose vertices= count is negative or smaller than max id + 1
+// is rejected outright with an error naming the header — the pair list
+// proves the count wrong, and quietly deferring to per-pair range
+// errors (or worse, accepting a hostile count) would misattribute the
+// problem to the data.
 func Read(r io.Reader) (*Graph, error) {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<16), 1<<22)
 	n := -1
+	haveHeader := false
 	var pairs []Pair
 	maxID := -1
 	lineNo := 0
@@ -49,6 +55,7 @@ func Read(r io.Reader) (*Graph, error) {
 		if line[0] == '#' {
 			if v, ok := parseHeaderVertices(line); ok {
 				n = v
+				haveHeader = true
 			}
 			continue
 		}
@@ -79,7 +86,15 @@ func Read(r io.Reader) (*Graph, error) {
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("uncertain: reading: %w", err)
 	}
-	if n < 0 {
+	if haveHeader {
+		if n < 0 {
+			return nil, fmt.Errorf("uncertain: header declares negative vertex count vertices=%d", n)
+		}
+		if n < maxID+1 {
+			return nil, fmt.Errorf("uncertain: header declares vertices=%d but pair ids reach %d (need at least %d)",
+				n, maxID, maxID+1)
+		}
+	} else {
 		n = maxID + 1
 	}
 	return New(n, pairs)

@@ -49,7 +49,7 @@ func (g *Graph) NewSampler() *Sampler {
 		toff:    g.incOff,
 		tnbr:    make([]int32, len(g.incIdx)),
 		tpair:   make([]int32, len(g.incIdx)),
-		present: make([]bool, len(g.pairs)),
+		present: make([]bool, len(g.pairP)),
 		offsets: make([]int64, g.n+1),
 		nbr:     make([]int32, len(g.incIdx)),
 	}
@@ -57,12 +57,11 @@ func (g *Graph) NewSampler() *Sampler {
 		lo, hi := s.toff[v], s.toff[v+1]
 		for k := lo; k < hi; k++ {
 			idx := g.incIdx[k]
-			pr := g.pairs[idx]
-			other := pr.U
-			if other == v {
-				other = pr.V
+			other := g.pairU[idx]
+			if int(other) == v {
+				other = g.pairV[idx]
 			}
-			s.tnbr[k] = int32(other)
+			s.tnbr[k] = other
 			s.tpair[k] = idx
 		}
 		sort.Sort(templateSlots{nbr: s.tnbr[lo:hi], pair: s.tpair[lo:hi]})
@@ -92,10 +91,10 @@ func (t templateSlots) Swap(i, j int) {
 // by TestSamplerMatchesSampleWorld. The returned graph aliases the
 // sampler and is valid until the next Sample call.
 func (s *Sampler) Sample(rng *rand.Rand) *graph.Graph {
-	pairs := s.g.pairs
+	probs := s.g.pairP
 	m := 0
-	for i := range pairs {
-		p := pairs[i].P
+	for i := range probs {
+		p := probs[i]
 		on := p > 0 && (p >= 1 || rng.Float64() < p)
 		s.present[i] = on
 		if on {

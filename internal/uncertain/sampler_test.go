@@ -49,7 +49,7 @@ func TestSamplerMatchesSampleWorld(t *testing.T) {
 		// Reference: the seed's SampleWorld implementation, verbatim.
 		rng := randx.New(seed)
 		b := graph.NewBuilder(g.n)
-		for _, pr := range g.pairs {
+		for _, pr := range g.Pairs() {
 			if pr.P > 0 && (pr.P >= 1 || rng.Float64() < pr.P) {
 				b.AddEdge(pr.U, pr.V)
 			}

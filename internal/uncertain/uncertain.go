@@ -10,14 +10,19 @@
 // degree distributions (Poisson-binomial over incident pairs, Section
 // 4) that feed the adversary model.
 //
-// The incident-pair index is stored in compressed-sparse-row form
-// (incOff/incIdx), mirroring the flat layout of internal/graph: the
-// candidate pairs incident to v are pairs[incIdx[incOff[v]:incOff[v+1]]],
-// in candidate-list order.
+// The candidate set is stored columnar — pairU/pairV []int32 plus
+// pairP []float64, struct-of-arrays rather than a []Pair — and the
+// incident-pair index in compressed-sparse-row form (incOff/incIdx),
+// mirroring the flat layout of internal/graph: the candidate pairs
+// incident to v are the indices incIdx[incOff[v]:incOff[v+1]], in
+// candidate-list order. The columnar arrays are exactly the sections of
+// the on-disk binary format (internal/ugbin), so a graph can operate
+// directly over an mmap'd file with zero copies.
 package uncertain
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 
@@ -33,19 +38,43 @@ type Pair struct {
 
 // Graph is an uncertain graph: a fixed vertex set plus a candidate set
 // of probabilistic pairs. Pairs not listed are certain non-edges.
+//
+// The backing arrays are columnar (see Columns); they may live on the
+// heap or alias a read-only memory-mapped file (see MappedBytes), so
+// they must never be written after construction.
 type Graph struct {
 	n      int
-	pairs  []Pair
-	incOff []int64 // CSR offsets into incIdx, length n+1
-	incIdx []int32 // pair indices, grouped by incident vertex
+	pairU  []int32   // lower endpoint of pair i (pairU[i] < pairV[i])
+	pairV  []int32   // upper endpoint of pair i
+	pairP  []float64 // existence probability of pair i
+	incOff []int64   // CSR offsets into incIdx, length n+1
+	incIdx []int32   // pair indices, grouped by incident vertex
+
+	// mapped is the byte count of the externally backed region the
+	// arrays alias — an mmap'd file or a caller-retained buffer adopted
+	// zero-copy — and 0 for graphs owning their heap arrays; see
+	// FootprintBytes.
+	mapped int64
 }
+
+// MaxVertices bounds the vertex count of a Graph: endpoints are stored
+// as int32, on heap and on disk alike.
+const MaxVertices = math.MaxInt32
 
 // New constructs an uncertain graph on n vertices from the candidate
 // pairs. It rejects self-loops, out-of-range vertices, duplicate pairs,
 // and probabilities outside [0, 1].
 func New(n int, pairs []Pair) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("uncertain: negative vertex count %d", n)
+	}
+	if n > MaxVertices {
+		return nil, fmt.Errorf("uncertain: vertex count %d exceeds %d", n, MaxVertices)
+	}
 	seen := make(map[int64]struct{}, len(pairs))
-	stored := make([]Pair, 0, len(pairs))
+	pairU := make([]int32, 0, len(pairs))
+	pairV := make([]int32, 0, len(pairs))
+	pairP := make([]float64, 0, len(pairs))
 	incOff := make([]int64, n+1)
 	for _, pr := range pairs {
 		if pr.U == pr.V {
@@ -54,7 +83,7 @@ func New(n int, pairs []Pair) (*Graph, error) {
 		if pr.U < 0 || pr.V < 0 || pr.U >= n || pr.V >= n {
 			return nil, fmt.Errorf("uncertain: pair (%d,%d) out of range [0,%d)", pr.U, pr.V, n)
 		}
-		if pr.P < 0 || pr.P > 1 {
+		if !(pr.P >= 0 && pr.P <= 1) {
 			return nil, fmt.Errorf("uncertain: probability %v of pair (%d,%d) outside [0,1]", pr.P, pr.U, pr.V)
 		}
 		key := graph.PairKey(pr.U, pr.V, n)
@@ -65,22 +94,25 @@ func New(n int, pairs []Pair) (*Graph, error) {
 		if pr.U > pr.V {
 			pr.U, pr.V = pr.V, pr.U
 		}
-		stored = append(stored, pr)
+		pairU = append(pairU, int32(pr.U))
+		pairV = append(pairV, int32(pr.V))
+		pairP = append(pairP, pr.P)
 		incOff[pr.U+1]++
 		incOff[pr.V+1]++
 	}
 	for v := 0; v < n; v++ {
 		incOff[v+1] += incOff[v]
 	}
-	incIdx := make([]int32, 2*len(stored))
+	incIdx := make([]int32, 2*len(pairU))
 	fill := make([]int64, n)
-	for i, pr := range stored {
-		incIdx[incOff[pr.U]+fill[pr.U]] = int32(i)
-		fill[pr.U]++
-		incIdx[incOff[pr.V]+fill[pr.V]] = int32(i)
-		fill[pr.V]++
+	for i := range pairU {
+		u, v := pairU[i], pairV[i]
+		incIdx[incOff[u]+fill[u]] = int32(i)
+		fill[u]++
+		incIdx[incOff[v]+fill[v]] = int32(i)
+		fill[v]++
 	}
-	return &Graph{n: n, pairs: stored, incOff: incOff, incIdx: incIdx}, nil
+	return &Graph{n: n, pairU: pairU, pairV: pairV, pairP: pairP, incOff: incOff, incIdx: incIdx}, nil
 }
 
 // FromCertain lifts a deterministic graph into an uncertain graph whose
@@ -102,25 +134,52 @@ func FromCertain(g *graph.Graph) *Graph {
 func (g *Graph) NumVertices() int { return g.n }
 
 // NumPairs returns the size of the candidate set |E_C|.
-func (g *Graph) NumPairs() int { return len(g.pairs) }
+func (g *Graph) NumPairs() int { return len(g.pairP) }
 
-// Pairs returns the candidate pairs. The slice is shared and must not be
-// modified.
-func (g *Graph) Pairs() []Pair { return g.pairs }
+// PairAt returns candidate pair i with U < V.
+func (g *Graph) PairAt(i int) Pair {
+	return Pair{U: int(g.pairU[i]), V: int(g.pairV[i]), P: g.pairP[i]}
+}
 
-// FootprintBytes estimates the resident heap bytes of the graph's
-// backing arrays: the candidate-pair list plus the CSR incident index.
-// Derived per-query state (samplers, BFS scratch, accumulators) is
-// deliberately excluded — this is the cost of keeping a published
-// graph itself loaded, the quantity a serving registry charges against
-// its global memory budget.
+// PairProb returns the existence probability of candidate pair i.
+func (g *Graph) PairProb(i int) float64 { return g.pairP[i] }
+
+// Pairs materializes the candidate pairs as a freshly allocated slice
+// (the graph stores them columnar; see Columns for the zero-copy view).
+func (g *Graph) Pairs() []Pair {
+	pairs := make([]Pair, len(g.pairP))
+	for i := range pairs {
+		pairs[i] = g.PairAt(i)
+	}
+	return pairs
+}
+
+// FootprintBytes estimates the heap bytes *exclusively owned* by the
+// graph's backing arrays: the columnar candidate arrays plus the CSR
+// incident index. For a graph whose arrays alias externally backed
+// memory — an mmap'd file (the arrays live in the page cache, shared
+// across processes) or a retained upload buffer adopted zero-copy —
+// FootprintBytes is 0 and the aliased size is reported by MappedBytes
+// instead: dropping such a graph frees essentially nothing, so a
+// serving registry charges only FootprintBytes against its global
+// memory budget and its eviction accounting stays honest. Derived
+// per-query state (samplers, BFS scratch, accumulators) is excluded
+// either way.
 func (g *Graph) FootprintBytes() int64 {
-	const pairBytes = 24 // Pair{U, V int; P float64} on 64-bit
-	return int64(len(g.pairs))*pairBytes +
+	if g.mapped > 0 {
+		return 0
+	}
+	return int64(len(g.pairP))*16 + // pairU+pairV (4+4) and pairP (8)
 		int64(len(g.incOff))*8 + int64(len(g.incIdx))*4
 }
 
-// Incident returns the indices into Pairs of the candidate pairs
+// MappedBytes returns the size of the externally backed read-only
+// region the graph's arrays alias (an mmap'd .ugb file, or the
+// caller-retained buffer a zero-copy decode adopted), or 0 for a graph
+// owning its arrays on the heap.
+func (g *Graph) MappedBytes() int64 { return g.mapped }
+
+// Incident returns the indices into the candidate list of the pairs
 // incident to v, in candidate-list order: a subslice of the flat CSR
 // index, shared with the graph and not to be modified.
 func (g *Graph) Incident(v int) []int32 {
@@ -138,7 +197,7 @@ func (g *Graph) IncidentProbs(v int) []float64 {
 // for scans that stream every vertex through one buffer.
 func (g *Graph) AppendIncidentProbs(dst []float64, v int) []float64 {
 	for _, idx := range g.Incident(v) {
-		dst = append(dst, g.pairs[idx].P)
+		dst = append(dst, g.pairP[idx])
 	}
 	return dst
 }
@@ -152,7 +211,7 @@ func (g *Graph) IncidentCount(v int) int {
 func (g *Graph) ExpectedDegree(v int) float64 {
 	var sum float64
 	for _, idx := range g.Incident(v) {
-		sum += g.pairs[idx].P
+		sum += g.pairP[idx]
 	}
 	return sum
 }
@@ -161,8 +220,8 @@ func (g *Graph) ExpectedDegree(v int) float64 {
 // closed form of Section 6.2.
 func (g *Graph) ExpectedNumEdges() float64 {
 	var sum float64
-	for _, pr := range g.pairs {
-		sum += pr.P
+	for _, p := range g.pairP {
+		sum += p
 	}
 	return sum
 }
@@ -201,20 +260,19 @@ func (g *Graph) DegreeDistBuf(v int, threshold int, buf []float64) (pbinom.Dist,
 // worlds should hold a Sampler instead, which allocates nothing per
 // world.
 func (g *Graph) SampleWorld(rng *rand.Rand) *graph.Graph {
-	present := make([]bool, len(g.pairs))
+	present := make([]bool, len(g.pairP))
 	m := 0
-	for i := range g.pairs {
-		p := g.pairs[i].P
+	for i, p := range g.pairP {
 		if p > 0 && (p >= 1 || rng.Float64() < p) {
 			present[i] = true
 			m++
 		}
 	}
 	offsets := make([]int64, g.n+1)
-	for i := range g.pairs {
+	for i := range g.pairP {
 		if present[i] {
-			offsets[g.pairs[i].U+1]++
-			offsets[g.pairs[i].V+1]++
+			offsets[g.pairU[i]+1]++
+			offsets[g.pairV[i]+1]++
 		}
 	}
 	for v := 0; v < g.n; v++ {
@@ -222,14 +280,14 @@ func (g *Graph) SampleWorld(rng *rand.Rand) *graph.Graph {
 	}
 	neighbors := make([]int32, 2*m)
 	fill := make([]int64, g.n)
-	for i := range g.pairs {
+	for i := range g.pairP {
 		if !present[i] {
 			continue
 		}
-		u, v := g.pairs[i].U, g.pairs[i].V
-		neighbors[offsets[u]+fill[u]] = int32(v)
+		u, v := g.pairU[i], g.pairV[i]
+		neighbors[offsets[u]+fill[u]] = v
 		fill[u]++
-		neighbors[offsets[v]+fill[v]] = int32(u)
+		neighbors[offsets[v]+fill[v]] = u
 		fill[v]++
 	}
 	for v := 0; v < g.n; v++ {
@@ -244,11 +302,11 @@ func (g *Graph) SampleWorld(rng *rand.Rand) *graph.Graph {
 // Primarily a testing aid for the possible-world semantics.
 func (g *Graph) WorldLogProb(materialized map[int]bool) float64 {
 	var lp float64
-	for i, pr := range g.pairs {
+	for i, p := range g.pairP {
 		if materialized[i] {
-			lp += logOrNegInf(pr.P)
+			lp += logOrNegInf(p)
 		} else {
-			lp += logOrNegInf(1 - pr.P)
+			lp += logOrNegInf(1 - p)
 		}
 	}
 	return lp

@@ -3,6 +3,7 @@ package uncertain
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"uncertaingraph/internal/graph"
@@ -200,5 +201,38 @@ func TestReadMalformed(t *testing.T) {
 		if _, err := Read(bytes.NewReader([]byte(in))); err == nil {
 			t.Errorf("input %q: expected error", in)
 		}
+	}
+}
+
+// TestReadHeaderVertexCount is the regression suite for header
+// handling: a vertices= count smaller than max id + 1 (or negative)
+// must be rejected with an error blaming the *header*, not deferred to
+// a confusing per-pair range error — while a count larger than the
+// pairs need is legitimate (isolated vertices) and must be honoured.
+func TestReadHeaderVertexCount(t *testing.T) {
+	undersized := "# uncertain graph: vertices=3 pairs=2\n0 1 0.5\n2 3 0.25\n"
+	_, err := Read(bytes.NewReader([]byte(undersized)))
+	if err == nil {
+		t.Fatal("undersized header accepted")
+	}
+	for _, needle := range []string{"header", "vertices=3", "need at least 4"} {
+		if !strings.Contains(err.Error(), needle) {
+			t.Errorf("undersized-header error %q missing %q", err, needle)
+		}
+	}
+
+	negative := "# uncertain graph: vertices=-7 pairs=0\n"
+	if _, err := Read(bytes.NewReader([]byte(negative))); err == nil ||
+		!strings.Contains(err.Error(), "negative vertex count") {
+		t.Errorf("negative header: err = %v, want a negative-vertex-count error", err)
+	}
+
+	oversized := "# uncertain graph: vertices=10 pairs=2\n0 1 0.5\n2 3 0.25\n"
+	g, err := Read(bytes.NewReader([]byte(oversized)))
+	if err != nil {
+		t.Fatalf("oversized header (isolated vertices) rejected: %v", err)
+	}
+	if g.NumVertices() != 10 {
+		t.Errorf("vertices = %d, want the header's 10", g.NumVertices())
 	}
 }

@@ -7,6 +7,7 @@ package uncertaingraph_test
 
 import (
 	"bufio"
+	"bytes"
 	"io"
 	"net/http"
 	"os"
@@ -136,6 +137,26 @@ func TestSmokeObfuscateAndEvaluate(t *testing.T) {
 	}
 	if string(first) != string(second) {
 		t.Error("obfuscate output differs between -workers 2 and -workers 5")
+	}
+
+	// -format binary publishes the identical graph in the .ugb
+	// container: decoded and re-serialized as text it must reproduce
+	// the text run byte for byte.
+	binPath := filepath.Join(t.TempDir(), "smoke.ugb")
+	runSmoke(t, "obfuscate",
+		"-in", edges, "-k", "3", "-eps", "0.2", "-t", "2",
+		"-delta", "1e-3", "-workers", "2", "-seed", "1",
+		"-format", "binary", "-out", binPath)
+	gBin, err := ug.LoadUncertainGraphBinary(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asText bytes.Buffer
+	if err := ug.WriteUncertainGraph(&asText, gBin); err != nil {
+		t.Fatal(err)
+	}
+	if asText.String() != string(first) {
+		t.Error("obfuscate -format binary decodes to a different graph than the text output")
 	}
 
 	out = runSmoke(t, "evaluate",
@@ -392,6 +413,125 @@ func TestSmokeQuerydMultiGraph(t *testing.T) {
 		`"worlds":50`)
 	do("DELETE", "/graphs/epoch3", nil, 200)
 	do("GET", "/graphs/epoch3/reliability?s=0&t=40", nil, 404)
+}
+
+// TestSmokeBinaryConvertAndQueryd drives the binary format end to end
+// through the CLIs: gengraph -convert turns a text release into a
+// .ugb (and back, byte-identically), and queryd boots from each,
+// answering the same request bit-identically — the text daemon parsing
+// its file, the binary daemon memory-mapping it.
+func TestSmokeBinaryConvertAndQueryd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the toolchain")
+	}
+	dir := buildSmokeBinaries(t)
+
+	g := ugen.HolmeKim(randx.New(5), 100, 3, 0.3)
+	var pairs []ug.Pair
+	g.ForEachEdge(func(u, v int) {
+		pairs = append(pairs, ug.Pair{U: u, V: v, P: float64((u+v)%9+1) / 10})
+	})
+	pub, err := ug.NewUncertainGraph(g.NumVertices(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	textDir, binDir := t.TempDir(), t.TempDir()
+	textPath := filepath.Join(textDir, "release.ug")
+	f, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ug.WriteUncertainGraph(f, pub); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Text → binary, then binary → text: the round trip must reproduce
+	// the original file byte for byte (Write emits exact floats).
+	binPath := filepath.Join(binDir, "release.ugb")
+	wantLines(t, runSmoke(t, "gengraph", "-convert", textPath, "-o", binPath),
+		"converted: 100 vertices", "to binary")
+	if !ug.SniffUncertainGraphBinary(mustReadFile(t, binPath)) {
+		t.Fatal("converted file does not carry the .ugb magic")
+	}
+	backPath := filepath.Join(t.TempDir(), "back.ug")
+	wantLines(t, runSmoke(t, "gengraph", "-convert", binPath, "-format", "text", "-o", backPath),
+		"to text")
+	if string(mustReadFile(t, backPath)) != string(mustReadFile(t, textPath)) {
+		t.Error("text → binary → text round trip is not byte-identical")
+	}
+
+	// Boot one daemon per format; both graphs are named "release", so
+	// the content-derived request seeds coincide and the answers must
+	// match bit for bit.
+	boot := func(graphsDir, wantMem string) (base string, stop func()) {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(dir, "queryd"),
+			"-graphs", graphsDir, "-addr", "127.0.0.1:0", "-worlds", "150", "-seed", "7")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		stop = func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			stop()
+			t.Fatalf("queryd printed no address line: %v", sc.Err())
+		}
+		line := sc.Text()
+		wantLines(t, line, "serving 100 vertices")
+		if !sc.Scan() {
+			stop()
+			t.Fatalf("queryd printed no graph line: %v", sc.Err())
+		}
+		wantLines(t, sc.Text(), `graph "release"`, wantMem)
+		i := strings.Index(line, "http://")
+		if i < 0 {
+			stop()
+			t.Fatalf("no address in queryd output %q", line)
+		}
+		return line[i:], stop
+	}
+	textBase, stopText := boot(textDir, "resident bytes")
+	defer stopText()
+	binBase, stopBin := boot(binDir, "mapped bytes")
+	defer stopBin()
+
+	get := func(base, path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d err %v: %s", path, resp.StatusCode, err, body)
+		}
+		return string(body)
+	}
+	const q = "/graphs/release/reliability?s=0&t=40"
+	textAns, binAns := get(textBase, q), get(binBase, q)
+	wantLines(t, textAns, `"reliability":`, `"worlds":150`)
+	if textAns != binAns {
+		t.Errorf("binary-served answer diverges from text-served:\n%s\nvs\n%s", binAns, textAns)
+	}
+	wantLines(t, get(binBase, "/graphs/release"), `"mapped_bytes":`)
+}
+
+func mustReadFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func TestSmokeExperiments(t *testing.T) {

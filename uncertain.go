@@ -4,6 +4,7 @@ import (
 	"io"
 	"math/rand"
 
+	"uncertaingraph/internal/ugbin"
 	"uncertaingraph/internal/uncertain"
 )
 
@@ -51,3 +52,26 @@ func ReadUncertainGraph(r io.Reader) (*UncertainGraph, error) { return uncertain
 
 // WriteUncertainGraph serializes an uncertain graph.
 func WriteUncertainGraph(w io.Writer, g *UncertainGraph) error { return uncertain.Write(w, g) }
+
+// WriteUncertainGraphBinary serializes g in the versioned, checksummed
+// binary .ugb format: the graph's columnar arrays laid out verbatim, so
+// loading is a validation pass over sections rather than a parse. See
+// the README's "On-disk format & cold start" section.
+func WriteUncertainGraphBinary(w io.Writer, g *UncertainGraph) error { return ugbin.Write(w, g) }
+
+// LoadUncertainGraphBinary brings the .ugb file at path into memory —
+// memory-mapped where the platform supports it (the graph's arrays
+// alias the page cache; loading costs a page-table setup) and read into
+// the heap elsewhere.
+func LoadUncertainGraphBinary(path string) (*UncertainGraph, error) { return ugbin.Load(path) }
+
+// DecodeUncertainGraphBinary builds a graph over .ugb bytes already in
+// memory, adopting 8-byte-aligned buffers zero-copy (data must then
+// stay live and unmodified for the graph's lifetime; see
+// UncertainGraph.MappedBytes).
+func DecodeUncertainGraphBinary(data []byte) (*UncertainGraph, error) { return ugbin.Decode(data) }
+
+// SniffUncertainGraphBinary reports whether the bytes begin with the
+// .ugb magic — enough to route a file or upload between
+// ReadUncertainGraph and the binary loader.
+func SniffUncertainGraphBinary(prefix []byte) bool { return ugbin.Sniff(prefix) }
