@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"runtime"
@@ -52,29 +53,32 @@ type Run struct {
 // metric list; metricPair then walks every "<value> <unit>/op" in it.
 // The testing package prints custom ReportMetric units between ns/op
 // and the -benchmem pair, so position-based parsing would drop B/op
-// and allocs/op the moment a benchmark reports one.
+// and allocs/op the moment a benchmark reports one. Sub-benchmark
+// names ("BenchmarkFoo/hot-cache-8") keep their slash path; only the
+// trailing -GOMAXPROCS suffix is stripped.
 var (
 	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 	metricPair = regexp.MustCompile(`([\d.]+)\s+(\S+)/op`)
 )
 
-func main() {
-	label := flag.String("label", "local", "label for this run (e.g. a commit or PR id)")
-	file := flag.String("file", "BENCH_sampling.json", "history file to append to")
-	flag.Parse()
-
+// parseRun scans `go test -bench` output from in, echoing every raw
+// line to echo, and returns the parsed benchmark lines plus
+// environment metadata. It fails when the stream contains a test
+// failure marker or yields no benchmark lines, so a broken benchmark
+// run can never record an empty or misleading history entry.
+func parseRun(label string, in io.Reader, echo io.Writer) (Run, error) {
 	run := Run{
-		Label:     *label,
+		Label:     label,
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
 	failed := false
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // stay transparent: every raw line reaches the terminal
+		fmt.Fprintln(echo, line) // stay transparent: every raw line reaches the terminal
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
 			run.CPU = cpu
 		}
@@ -115,33 +119,55 @@ func main() {
 		run.Benchmarks = append(run.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
-		fatal(err)
+		return run, err
 	}
 	if failed {
-		fatal(fmt.Errorf("benchmark run failed; nothing recorded"))
+		return run, fmt.Errorf("benchmark run failed; nothing recorded")
 	}
 	if len(run.Benchmarks) == 0 {
-		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+		return run, fmt.Errorf("no benchmark lines found on stdin")
 	}
+	return run, nil
+}
 
+// appendHistory appends run to the JSON run array in file (creating it
+// if absent) and returns the new total run count. A file that exists
+// but does not hold a run array is an error, never overwritten.
+func appendHistory(file string, run Run) (int, error) {
 	var history []Run
-	if data, err := os.ReadFile(*file); err == nil {
+	if data, err := os.ReadFile(file); err == nil {
 		if err := json.Unmarshal(data, &history); err != nil {
-			fatal(fmt.Errorf("existing %s is not a run array: %w", *file, err))
+			return 0, fmt.Errorf("existing %s is not a run array: %w", file, err)
 		}
 	} else if !os.IsNotExist(err) {
-		fatal(err)
+		return 0, err
 	}
 	history = append(history, run)
 	out, err := json.MarshalIndent(history, "", "  ")
 	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return len(history), nil
+}
+
+func main() {
+	label := flag.String("label", "local", "label for this run (e.g. a commit or PR id)")
+	file := flag.String("file", "BENCH_sampling.json", "history file to append to")
+	flag.Parse()
+
+	run, err := parseRun(*label, os.Stdin, os.Stdout)
+	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*file, append(out, '\n'), 0o644); err != nil {
+	total, err := appendHistory(*file, run)
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchfmt: appended %d benchmarks to %s (%d runs total)\n",
-		len(run.Benchmarks), *file, len(history))
+		len(run.Benchmarks), *file, total)
 }
 
 func fatal(err error) {

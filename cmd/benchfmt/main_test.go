@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleOutput is a realistic -benchmem session: a cpu line, a custom
+// ReportMetric between ns/op and the benchmem pair, and sub-benchmark
+// names with slash paths (the shape `make bench-qserve` records for
+// BenchmarkRegistryCachedRequest).
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: uncertaingraph/internal/qserve
+cpu: AMD EPYC 7B13
+BenchmarkRegistryHotRequest-8   	    1500	    748123 ns/op	   51234 B/op	      51 allocs/op
+BenchmarkRegistryCachedRequest/hot-cache-8         	  100000	     10312 ns/op	    4821 B/op	      47 allocs/op
+BenchmarkRegistryCachedRequest/hot-graph-cold-cache-8	    1500	    768001 ns/op	   52000 B/op	      63 allocs/op
+BenchmarkEstimateAdaptive-8     	      20	  51234567 ns/op	       612.0 worlds/op	 1024 B/op	      12 allocs/op
+PASS
+ok  	uncertaingraph/internal/qserve	2.31s
+`
+
+func TestParseRun(t *testing.T) {
+	var echo strings.Builder
+	run, err := parseRun("pr10", strings.NewReader(sampleOutput), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sampleOutput {
+		t.Error("raw output was not echoed verbatim")
+	}
+	if run.Label != "pr10" || run.CPU != "AMD EPYC 7B13" {
+		t.Errorf("metadata: label=%q cpu=%q", run.Label, run.CPU)
+	}
+	if run.GoVersion == "" || run.GOOS == "" || run.GOARCH == "" {
+		t.Errorf("environment fields missing: %+v", run)
+	}
+	want := []Benchmark{
+		{Name: "BenchmarkRegistryHotRequest", Iterations: 1500, NsPerOp: 748123, BytesPerOp: 51234, AllocsPerOp: 51},
+		{Name: "BenchmarkRegistryCachedRequest/hot-cache", Iterations: 100000, NsPerOp: 10312, BytesPerOp: 4821, AllocsPerOp: 47},
+		{Name: "BenchmarkRegistryCachedRequest/hot-graph-cold-cache", Iterations: 1500, NsPerOp: 768001, BytesPerOp: 52000, AllocsPerOp: 63},
+		{Name: "BenchmarkEstimateAdaptive", Iterations: 20, NsPerOp: 51234567, BytesPerOp: 1024, AllocsPerOp: 12,
+			Metrics: map[string]float64{"worlds/op": 612}},
+	}
+	if len(run.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(run.Benchmarks), len(want), run.Benchmarks)
+	}
+	for i, w := range want {
+		got := run.Benchmarks[i]
+		if got.Name != w.Name || got.Iterations != w.Iterations || got.NsPerOp != w.NsPerOp ||
+			got.BytesPerOp != w.BytesPerOp || got.AllocsPerOp != w.AllocsPerOp {
+			t.Errorf("benchmark %d: got %+v, want %+v", i, got, w)
+		}
+		if w.Metrics != nil && got.Metrics["worlds/op"] != w.Metrics["worlds/op"] {
+			t.Errorf("benchmark %d metrics: got %v, want %v", i, got.Metrics, w.Metrics)
+		}
+	}
+}
+
+func TestParseRunRejectsFailures(t *testing.T) {
+	for name, in := range map[string]string{
+		"fail-line":  "BenchmarkX-8 10 100 ns/op\nFAIL\n",
+		"test-fail":  "--- FAIL: TestGuard\nBenchmarkX-8 10 100 ns/op\n",
+		"panic":      "BenchmarkX-8 10 100 ns/op\npanic: runtime error\n",
+		"no-benches": "goos: linux\nPASS\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := parseRun("l", strings.NewReader(in), &strings.Builder{}); err == nil {
+				t.Errorf("parseRun accepted %q", in)
+			}
+		})
+	}
+}
+
+func TestAppendHistory(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "BENCH_test.json")
+	run := Run{Label: "first", Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 42}}}
+	if n, err := appendHistory(file, run); err != nil || n != 1 {
+		t.Fatalf("first append: n=%d err=%v", n, err)
+	}
+	run.Label = "second"
+	if n, err := appendHistory(file, run); err != nil || n != 2 {
+		t.Fatalf("second append: n=%d err=%v", n, err)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []Run
+	if err := json.Unmarshal(data, &history); err != nil {
+		t.Fatalf("history is not a run array: %v", err)
+	}
+	if len(history) != 2 || history[0].Label != "first" || history[1].Label != "second" {
+		t.Errorf("history corrupted: %+v", history)
+	}
+	if history[0].Benchmarks[0].Name != "BenchmarkA" {
+		t.Errorf("oldest record lost its benchmarks: %+v", history[0])
+	}
+}
+
+// A file that exists but is not a run array must never be overwritten:
+// losing the accumulated baseline would silently rebase every
+// acceptance comparison.
+func TestAppendHistoryRefusesCorruptFile(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(file, []byte(`{"not":"an array"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appendHistory(file, Run{Label: "x"}); err == nil {
+		t.Fatal("appendHistory accepted a corrupt history file")
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"not":"an array"}` {
+		t.Errorf("corrupt file was rewritten: %s", data)
+	}
+}

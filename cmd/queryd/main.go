@@ -14,6 +14,7 @@
 //	       [-mem-budget 1073741824] [-max-knn-sources 64]
 //	       [-global-mem-budget 8589934592] [-tolerance 0.05]
 //	       [-load-mode auto|mmap|heap]
+//	       [-result-cache-budget 268435456]
 //
 // -graph loads one file and makes it the default graph (the legacy
 // alias endpoints resolve to it); -graphs loads every *.ug and *.ugb
@@ -49,6 +50,16 @@
 // stream is derived from the server seed, the graph name and the
 // request content, so identical requests return identical answers —
 // bit-identical even across an evict/reload cycle.
+//
+// That determinism funds the result cache: complete answers are stored
+// under -result-cache-budget bytes of LRU (default 256 MiB; 0 disables
+// caching), keyed by graph release and fully resolved request content,
+// so a repeated request is a lookup, N identical concurrent requests
+// compute once (single-flight), and concurrent requests sharing a
+// world stream ride one sampler tick. Cached, coalesced and shared
+// answers are byte-identical to fresh recomputation; republishing or
+// deleting a graph invalidates its entries. /healthz and /graphs
+// report hit/miss/byte counters in "result_cache".
 //
 // The daemon shuts down gracefully: SIGINT or SIGTERM stops accepting
 // new connections, lets in-flight requests drain for -drain (default
@@ -94,6 +105,7 @@ func main() {
 		tol        = flag.Float64("tolerance", 0, "default adaptive-precision tolerance: requests stop sampling once every query's relative SEM is at most this (0 disables; requests may override via the \"tolerance\" field)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests on SIGINT/SIGTERM")
 		loadMode   = flag.String("load-mode", "auto", "how binary .ugb graphs are brought into memory: auto (mmap where supported), mmap (required), heap (always copy)")
+		cacheMem   = flag.Int64("result-cache-budget", qserve.DefaultResultCacheBudget, "result-cache byte budget: complete answers are cached (LRU), identical concurrent requests coalesce and share world streams; 0 disables")
 	)
 	flag.Parse()
 	if *gin == "" && *gdir == "" {
@@ -107,6 +119,9 @@ func main() {
 	}
 	if *globalMem < 1 {
 		fatal(fmt.Errorf("-global-mem-budget %d must be >= 1", *globalMem))
+	}
+	if *cacheMem < 0 {
+		fatal(fmt.Errorf("-result-cache-budget %d must be >= 0", *cacheMem))
 	}
 	mode, err := ugbin.ParseMode(*loadMode)
 	if err != nil {
@@ -125,41 +140,15 @@ func main() {
 		GlobalMemBudget: *globalMem,
 		MaxGraphs:       *maxGraphs,
 		BinaryLoadMode:  mode,
+		// Cache by default at the daemon level; the library default is
+		// off so embedders (and the registry's own tests) opt in.
+		ResultCacheBudget: *cacheMem,
 	}
 
-	if *gdir != "" {
-		paths, err := filepath.Glob(filepath.Join(*gdir, "*.ug"))
-		if err != nil {
-			fatal(err)
-		}
-		binPaths, err := filepath.Glob(filepath.Join(*gdir, "*.ugb"))
-		if err != nil {
-			fatal(err)
-		}
-		paths = append(paths, binPaths...)
-		if len(paths) == 0 {
-			fatal(fmt.Errorf("-graphs %s: no *.ug or *.ugb files", *gdir))
-		}
-		sort.Strings(paths)
-		for _, p := range paths {
-			if _, err := srv.PublishFile(graphName(p), p, qserve.GraphConfig{}); err != nil {
-				fatal(err)
-			}
-		}
-	}
-	if *gin != "" {
-		name := graphName(*gin)
-		if _, err := srv.PublishFile(name, *gin, qserve.GraphConfig{}); err != nil {
-			fatal(err)
-		}
-		srv.DefaultGraph = name
+	if err := loadGraphs(srv, *gdir, *gin); err != nil {
+		fatal(err)
 	}
 	graphs, totals := srv.GraphStats()
-	if srv.DefaultGraph == "" && len(graphs) == 1 {
-		// A one-graph registry serves the legacy alias endpoints too,
-		// whichever flag loaded it.
-		srv.DefaultGraph = graphs[0].Name
-	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -224,6 +213,45 @@ func main() {
 		<-serveErr // Serve has returned ErrServerClosed by now
 		fmt.Println("queryd: shutdown complete")
 	}
+}
+
+// loadGraphs publishes the startup graphs into srv: every *.ug and
+// *.ugb in dir (when non-empty, sorted so a name present in both
+// serializations keeps the binary), then file (when non-empty) as the
+// default graph. A one-graph registry serves the legacy alias
+// endpoints too, whichever flag loaded it.
+func loadGraphs(srv *qserve.Server, dir, file string) error {
+	if dir != "" {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.ug"))
+		if err != nil {
+			return err
+		}
+		binPaths, err := filepath.Glob(filepath.Join(dir, "*.ugb"))
+		if err != nil {
+			return err
+		}
+		paths = append(paths, binPaths...)
+		if len(paths) == 0 {
+			return fmt.Errorf("-graphs %s: no *.ug or *.ugb files", dir)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			if _, err := srv.PublishFile(graphName(p), p, qserve.GraphConfig{}); err != nil {
+				return err
+			}
+		}
+	}
+	if file != "" {
+		name := graphName(file)
+		if _, err := srv.PublishFile(name, file, qserve.GraphConfig{}); err != nil {
+			return err
+		}
+		srv.DefaultGraph = name
+	}
+	if graphs, _ := srv.GraphStats(); srv.DefaultGraph == "" && len(graphs) == 1 {
+		srv.DefaultGraph = graphs[0].Name
+	}
+	return nil
 }
 
 // graphName derives a registry name from a graph file path: the

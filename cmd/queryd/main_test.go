@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uncertaingraph/internal/qserve"
+	"uncertaingraph/internal/uncertain"
+)
+
+// graphName is the only piece of routing logic the daemon owns (the
+// rest lives in internal/qserve): both serializations of a release
+// must map to one registry name, and a name containing dots must not
+// lose anything but the format suffix.
+func TestGraphName(t *testing.T) {
+	for path, want := range map[string]string{
+		"releases/d.ug":      "d",
+		"releases/d.ugb":     "d",
+		"d.ug":               "d",
+		"/abs/path/epoch-3":  "epoch-3",
+		"a/b/v1.2.ug":        "v1.2",
+		"a/b/v1.2.ugb":       "v1.2",
+		"plain":              "plain",
+		"dir.ug/graph":       "graph",
+		"releases/trail.ugb": "trail",
+	} {
+		if got := graphName(path); got != want {
+			t.Errorf("graphName(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// writeTestGraph publishes a tiny 4-vertex text graph to path.
+func writeTestGraph(t *testing.T, path string) {
+	t.Helper()
+	g, err := uncertain.New(4, []uncertain.Pair{
+		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.8}, {U: 2, V: 3, P: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := uncertain.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadGraphs pins the startup contract shared by -graph and
+// -graphs: directory graphs are named by basename, a lone graph
+// becomes the default whichever flag loaded it, an explicit -graph
+// always wins the default, and an empty directory is a startup error
+// rather than an empty registry.
+func TestLoadGraphs(t *testing.T) {
+	dir := t.TempDir()
+	writeTestGraph(t, filepath.Join(dir, "alpha.ug"))
+	writeTestGraph(t, filepath.Join(dir, "beta.ug"))
+	single := filepath.Join(t.TempDir(), "solo.ug")
+	writeTestGraph(t, single)
+
+	t.Run("dir-two-graphs-no-default", func(t *testing.T) {
+		srv := &qserve.Server{Worlds: 8, Seed: 1}
+		if err := loadGraphs(srv, dir, ""); err != nil {
+			t.Fatal(err)
+		}
+		graphs, totals := srv.GraphStats()
+		if totals.Graphs != 2 || graphs[0].Name != "alpha" || graphs[1].Name != "beta" {
+			t.Errorf("loaded %+v", graphs)
+		}
+		if srv.DefaultGraph != "" {
+			t.Errorf("two-graph registry picked a default: %q", srv.DefaultGraph)
+		}
+	})
+	t.Run("dir-and-file-compose", func(t *testing.T) {
+		srv := &qserve.Server{Worlds: 8, Seed: 1}
+		if err := loadGraphs(srv, dir, single); err != nil {
+			t.Fatal(err)
+		}
+		_, totals := srv.GraphStats()
+		if totals.Graphs != 3 || srv.DefaultGraph != "solo" {
+			t.Errorf("graphs=%d default=%q", totals.Graphs, srv.DefaultGraph)
+		}
+	})
+	t.Run("sole-graph-is-default", func(t *testing.T) {
+		srv := &qserve.Server{Worlds: 8, Seed: 1}
+		if err := loadGraphs(srv, "", single); err != nil {
+			t.Fatal(err)
+		}
+		if srv.DefaultGraph != "solo" {
+			t.Errorf("default = %q, want solo", srv.DefaultGraph)
+		}
+	})
+	t.Run("empty-dir-errors", func(t *testing.T) {
+		srv := &qserve.Server{Worlds: 8, Seed: 1}
+		if err := loadGraphs(srv, t.TempDir(), ""); err == nil {
+			t.Error("empty -graphs dir did not error")
+		}
+	})
+	t.Run("missing-file-errors", func(t *testing.T) {
+		srv := &qserve.Server{Worlds: 8, Seed: 1}
+		if err := loadGraphs(srv, "", filepath.Join(dir, "nope.ug")); err == nil {
+			t.Error("missing -graph file did not error")
+		}
+	})
+}

@@ -14,7 +14,7 @@ import (
 // plus hashed chords) big enough that evict/reload cost — serialize
 // source held in memory, parse, rebuild incidence — is visible next to
 // the request's world sampling.
-func benchGraph(b *testing.B, n int) *uncertain.Graph {
+func benchGraph(b testing.TB, n int) *uncertain.Graph {
 	b.Helper()
 	pairs := make([]uncertain.Pair, 0, 2*n)
 	for u := 0; u < n; u++ {
@@ -58,6 +58,65 @@ func BenchmarkRegistryHotRequest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchRequest(b, handler, "hot")
 	}
+}
+
+// BenchmarkRegistryCachedRequest prices the result cache against the
+// BenchmarkRegistryHotRequest baseline (which stays cache-disabled):
+//
+//   - hot-cache: every request after the first is a stored-answer
+//     lookup — the acceptance bar is >= 10x faster than the hot
+//     baseline;
+//   - hot-graph-cold-cache: the cache is enabled but nothing fits its
+//     budget, so every request runs the full miss path (flight setup,
+//     computation, discarded store) against a resident graph — the
+//     overhead the cache machinery adds to a recomputation;
+//   - cold: a cache miss that also finds its graph evicted, paying
+//     reload plus recomputation.
+func BenchmarkRegistryCachedRequest(b *testing.B) {
+	b.Run("hot-cache", func(b *testing.B) {
+		srv := &Server{Worlds: 8, Workers: 1, Seed: 1, ResultCacheBudget: DefaultResultCacheBudget}
+		if _, err := srv.PublishGraph("hot", benchGraph(b, 2000), GraphConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		handler := srv.Handler()
+		benchRequest(b, handler, "hot") // fill the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchRequest(b, handler, "hot")
+		}
+	})
+	b.Run("hot-graph-cold-cache", func(b *testing.B) {
+		// A 1-byte budget stores nothing: every request misses, computes
+		// under a flight, and its answer evicts itself.
+		srv := &Server{Worlds: 8, Workers: 1, Seed: 1, ResultCacheBudget: 1}
+		if _, err := srv.PublishGraph("hot", benchGraph(b, 2000), GraphConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		handler := srv.Handler()
+		benchRequest(b, handler, "hot") // warm the pool
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchRequest(b, handler, "hot")
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		g := benchGraph(b, 2000)
+		srv := &Server{Worlds: 8, Workers: 1, Seed: 1, ResultCacheBudget: 1,
+			GlobalMemBudget: g.FootprintBytes() + g.FootprintBytes()/2}
+		for _, name := range []string{"cold-a", "cold-b"} {
+			if _, err := srv.PublishGraph(name, g, GraphConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		handler := srv.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchRequest(b, handler, fmt.Sprintf("cold-%c", 'a'+i%2))
+		}
+	})
 }
 
 // BenchmarkRegistryColdReload serves the same request against a

@@ -2,6 +2,8 @@ package qserve
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -189,5 +191,99 @@ func FuzzGraphRouting(f *testing.F) {
 	f.Fuzz(func(t *testing.T, name string) {
 		check(t, "/graphs/"+url.PathEscape(name)+query)
 		check(t, "/graphs/"+name+query) // raw: traversal/extra-segment shapes
+	})
+}
+
+// cacheKeyNorm is the semantic content resultCacheKey must be a
+// bijection over: two valid requests map to the same key exactly when
+// their fully resolved forms agree. Tolerance is normalized to its
+// float bits — exactly the equality the key uses — and the query list
+// to a rendering with separators unrelated to the key's, so a
+// separator-injection bug in the key cannot hide in the norm too.
+type cacheKeyNorm struct {
+	name    string
+	worlds  int
+	seed    int64
+	tolBits uint64
+	queries string
+}
+
+// FuzzResultCacheKey fuzzes the cache key's canonicalization and
+// injectivity: semantically equal request bodies — whatever their JSON
+// field order, whitespace, or default-vs-explicit fields — must
+// collide, any semantic difference (ids, k, ops, worlds, tolerance,
+// seed, graph name) must not, and nothing panics on hostile input,
+// including graph names containing the key's separator byte.
+func FuzzResultCacheKey(f *testing.F) {
+	const q1 = `{"op":"reliability","s":0,"t":4}`
+	f.Add("g", "g", `{"queries":[`+q1+`]}`, `{"queries":[{"t":4,"s":0,"op":"reliability"}]}`) // field order
+	f.Add("g", "g", `{"queries":[`+q1+`]}`, ` {  "queries" : [ `+q1+` ] } `)                  // whitespace
+	f.Add("g", "g", `{"worlds":400,"queries":[`+q1+`]}`, `{"queries":[`+q1+`]}`)              // explicit default worlds
+	f.Add("g", "g", `{"tolerance":0,"queries":[`+q1+`]}`, `{"queries":[`+q1+`]}`)             // explicit default tolerance
+	f.Add("g", "g", `{"queries":[`+q1+`]}`, `{"queries":[{"op":"reliability","s":0,"t":3}]}`) // different target
+	f.Add("g", "g", `{"queries":[`+q1+`]}`, `{"queries":[{"op":"distance","s":0,"t":4}]}`)    // different op
+	f.Add("g", "g", `{"queries":[{"op":"knn","s":0,"k":2}]}`, `{"queries":[{"op":"knn","s":0,"k":3}]}`)
+	f.Add("g", "g", `{"worlds":16,"queries":[`+q1+`]}`, `{"worlds":17,"queries":[`+q1+`]}`)
+	f.Add("g", "g", `{"seed":7,"queries":[`+q1+`]}`, `{"queries":[`+q1+`]}`)
+	f.Add("g", "h", `{"queries":[`+q1+`]}`, `{"queries":[`+q1+`]}`)   // different graphs
+	f.Add("a|b", "a", `{"queries":[`+q1+`]}`, `{"queries":[`+q1+`]}`) // separator in the name
+	f.Add("g|0", "g", `{"worlds":16,"queries":[`+q1+`]}`, `{"queries":[`+q1+`]}`)
+	f.Add("café", "café", `{"queries":[`+q1+`]}`, `{"queries":[`+q1+`]}`)
+
+	// The derivation context: a 5-vertex graph with no per-graph
+	// overrides. Generation is held fixed — its role in the key is
+	// pinned by TestCacheInvalidatedOnRepublish.
+	srv := &Server{Worlds: 400, Seed: 11, Workers: 1}
+	const vertices = 5
+	cfg := GraphConfig{}
+
+	decode := func(body string) (*BatchRequest, bool) {
+		dec := json.NewDecoder(strings.NewReader(body))
+		dec.DisallowUnknownFields()
+		var req BatchRequest
+		if err := dec.Decode(&req); err != nil {
+			return nil, false
+		}
+		if err := srv.validate(vertices, cfg, &req); err != nil {
+			return nil, false
+		}
+		return &req, true
+	}
+	derive := func(name string, req *BatchRequest) (string, cacheKeyNorm) {
+		worlds := srv.resolveWorlds(cfg, req.Worlds)
+		seed := srv.requestSeed(name, req, worlds)
+		tol := srv.effTolerance(cfg)
+		if req.Tolerance != nil {
+			tol = *req.Tolerance
+		}
+		var qs strings.Builder
+		for _, q := range req.Queries {
+			fmt.Fprintf(&qs, "<%s,%d,%d,%d>", q.Op, q.S, q.T, q.K)
+		}
+		key := resultCacheKey(name, 1, worlds, seed, tol, req.Queries)
+		return key, cacheKeyNorm{name, worlds, seed, math.Float64bits(tol), qs.String()}
+	}
+
+	f.Fuzz(func(t *testing.T, name1, name2, a, b string) {
+		if validateGraphName(name1) != nil || validateGraphName(name2) != nil {
+			return
+		}
+		ra, ok := decode(a)
+		if !ok {
+			return
+		}
+		rb, ok := decode(b)
+		if !ok {
+			return
+		}
+		k1, n1 := derive(name1, ra)
+		k2, n2 := derive(name2, rb)
+		if n1 == n2 && k1 != k2 {
+			t.Fatalf("semantically equal requests got distinct keys:\n%q (%q)\n%q (%q)\nnorm %+v", a, k1, b, k2, n1)
+		}
+		if n1 != n2 && k1 == k2 {
+			t.Fatalf("distinct requests collide on key %q:\n%q on %q (norm %+v)\n%q on %q (norm %+v)",
+				k1, a, name1, n1, b, name2, n2)
+		}
 	})
 }

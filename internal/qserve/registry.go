@@ -98,6 +98,14 @@ type graphEntry struct {
 	name string
 	cfg  GraphConfig
 
+	// gen is the entry's publish generation: a registry-wide monotonic
+	// counter stamped on every install. It names the *release* — a
+	// republish (same name, new bytes or config) gets a fresh gen, while
+	// an evict-then-reload keeps it (reloading parses the identical
+	// source, so answers are unchanged). The result cache keys on it, so
+	// stale answers cannot survive a republish but do survive eviction.
+	gen uint64
+
 	source []byte // serialized graph; nil when path-backed
 	path   string // reload path; "" when source-backed
 
@@ -152,6 +160,7 @@ type Registry struct {
 	mu        sync.Mutex
 	graphs    map[string]*graphEntry
 	clock     uint64
+	gens      uint64
 	resident  int64
 	mapped    int64
 	evictions uint64
@@ -296,6 +305,8 @@ func (r *Registry) install(name string, g *uncertain.Graph, src []byte, path str
 		r.mapped -= e.mapped
 	}
 	e.cfg = cfg
+	r.gens++
+	e.gen = r.gens
 	e.source, e.path = src, path
 	e.vertices, e.npairs = g.NumVertices(), g.NumPairs()
 	e.g = g
@@ -437,6 +448,30 @@ func (r *Registry) Stats() ([]GraphStats, RegistryStats) {
 		GlobalMemBudget: r.globalBudget(),
 		Evictions:       r.evictions,
 	}
+}
+
+// graphInfo is the slice of a graph's registration the serving layer
+// can inspect without loading it: enough to validate a request, derive
+// its seed/cache key and answer cache hits while the graph itself stays
+// evicted.
+type graphInfo struct {
+	gen      uint64
+	vertices int
+	cfg      GraphConfig
+}
+
+// peek returns name's registration info without loading the graph or
+// touching the LRU clock — a cache hit against an evicted graph must
+// not force a reload (or perturb eviction order) just to learn the
+// answer was already known.
+func (r *Registry) peek(name string) (graphInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	if !ok {
+		return graphInfo{}, false
+	}
+	return graphInfo{gen: e.gen, vertices: e.vertices, cfg: e.cfg}, true
 }
 
 // GraphStatsFor returns one graph's snapshot.

@@ -25,6 +25,18 @@
 // decorrelated world streams. A pinned "seed" field overrides the
 // derivation. Responses echo the worlds and seed used.
 //
+// That contract is what makes cached answers safe: a response is a
+// pure function of (graph release, resolved request), so with
+// ResultCacheBudget set the server stores complete 200 bodies under a
+// content-addressed key (graph generation + resolved worlds, seed,
+// tolerance and query list), coalesces identical concurrent requests
+// into one computation, and lets concurrent batches on the same
+// (release, seed) share one sampled world stream. All three layers
+// return bytes identical to a fresh recomputation — a cache hit, a
+// coalesced response and a shared-stream answer are indistinguishable
+// from computing alone — and republishing or deleting a graph starts a
+// new generation, so no stale answer can outlive its release.
+//
 // Resource limits: besides the worlds and query-count caps, every
 // request is priced against a memory budget before any buffer grows —
 // distinct k-NN sources dominate (each can fill an n² int32 histogram
@@ -141,10 +153,24 @@ type Server struct {
 	// value (ugbin.ModeAuto) memory-maps where the platform supports it
 	// and falls back to a heap read elsewhere.
 	BinaryLoadMode ugbin.Mode
+	// ResultCacheBudget, when positive, enables the content-addressed
+	// result cache: complete 200 responses are stored under a key
+	// derived from the graph release and the fully resolved request
+	// (see resultCacheKey), LRU-evicted once stored bodies exceed this
+	// many bytes, and invalidated when their graph is republished or
+	// deleted. Enabling the cache also turns on single-flight
+	// coalescing (N identical concurrent requests compute once) and
+	// shared world streams (concurrent same-stream batches ride one
+	// sampler tick). 0 — the zero value — disables all three; cached
+	// answers are byte-identical to recomputation, but embedders opt
+	// in. cmd/queryd serves with DefaultResultCacheBudget.
+	ResultCacheBudget int64
 
 	initOnce sync.Once
 	reg      *Registry
 	defName  string
+	cache    *resultCache
+	streams  streamCoord
 }
 
 // init builds the registry on first use and publishes the compat G
@@ -160,6 +186,9 @@ func (s *Server) init() {
 				return query.NewBatchPool(g, query.Config{MemoryBudget: s.effMemBudget(cfg)})
 			},
 			BinaryLoadMode: s.BinaryLoadMode,
+		}
+		if s.ResultCacheBudget > 0 {
+			s.cache = newResultCache(s.ResultCacheBudget)
 		}
 		s.defName = s.DefaultGraph
 		if s.G != nil {
@@ -185,7 +214,21 @@ func (s *Server) init() {
 // keeping src for post-eviction reloads.
 func (s *Server) Publish(name string, src []byte, cfg GraphConfig) (GraphStats, bool, error) {
 	s.init()
-	return s.reg.Publish(name, src, cfg)
+	st, created, err := s.reg.Publish(name, src, cfg)
+	if err == nil {
+		s.invalidateResults(name)
+	}
+	return st, created, err
+}
+
+// invalidateResults drops name's cached answers after a registry
+// mutation. The new release also carries a fresh generation — so even
+// a racing flight that settles after this sweep stores its answer
+// under the old gen, unreachable by any future lookup.
+func (s *Server) invalidateResults(name string) {
+	if s.cache != nil {
+		s.cache.invalidate(name)
+	}
 }
 
 // PublishGraph serializes g and registers it under name — the
@@ -201,6 +244,9 @@ func (s *Server) PublishGraph(name string, g *uncertain.Graph, cfg GraphConfig) 
 		return GraphStats{}, err
 	}
 	st, _, err := s.reg.install(name, g, buf.Bytes(), "", cfg)
+	if err == nil {
+		s.invalidateResults(name)
+	}
 	return st, err
 }
 
@@ -208,14 +254,22 @@ func (s *Server) PublishGraph(name string, g *uncertain.Graph, cfg GraphConfig) 
 // is re-read on every post-eviction reload.
 func (s *Server) PublishFile(name, path string, cfg GraphConfig) (GraphStats, error) {
 	s.init()
-	return s.reg.PublishFile(name, path, cfg)
+	st, err := s.reg.PublishFile(name, path, cfg)
+	if err == nil {
+		s.invalidateResults(name)
+	}
+	return st, err
 }
 
 // DeleteGraph removes name from the registry, reporting whether it
-// existed.
+// existed; its cached answers go with it.
 func (s *Server) DeleteGraph(name string) bool {
 	s.init()
-	return s.reg.Delete(name)
+	ok := s.reg.Delete(name)
+	if ok {
+		s.invalidateResults(name)
+	}
+	return ok
 }
 
 // GraphStats returns every registered graph's snapshot and the
@@ -321,13 +375,17 @@ type healthResponse struct {
 	// Registry totals (graph count, residency, evictions) and the
 	// per-graph list with hit/miss/resident counters.
 	Registry RegistryStats `json:"registry"`
-	Graphs   []GraphStats  `json:"graphs"`
+	// ResultCache reports the result cache's occupancy and hit/miss/
+	// coalescing counters (Enabled false when the cache is off).
+	ResultCache ResultCacheStats `json:"result_cache"`
+	Graphs      []GraphStats     `json:"graphs"`
 }
 
 // graphListResponse is the body of GET /graphs.
 type graphListResponse struct {
-	Registry RegistryStats `json:"registry"`
-	Graphs   []GraphStats  `json:"graphs"`
+	Registry    RegistryStats    `json:"registry"`
+	ResultCache ResultCacheStats `json:"result_cache"`
+	Graphs      []GraphStats     `json:"graphs"`
 }
 
 // uploadResponse is the body of a successful PUT/POST /graphs/{name}.
@@ -438,6 +496,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		MaxKNNSources: s.maxKNNSources(),
 		DefaultGraph:  s.defaultName(),
 		Registry:      totals,
+		ResultCache:   s.resultCacheStats(),
 		Graphs:        graphs,
 	}
 	if st, ok := s.reg.GraphStatsFor(s.defaultName()); ok {
@@ -448,7 +507,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleGraphList(w http.ResponseWriter, _ *http.Request) {
 	graphs, totals := s.reg.Stats()
-	writeJSON(w, http.StatusOK, graphListResponse{Registry: totals, Graphs: graphs})
+	writeJSON(w, http.StatusOK, graphListResponse{
+		Registry:    totals,
+		ResultCache: s.resultCacheStats(),
+		Graphs:      graphs,
+	})
+}
+
+// resultCacheStats collates the cache's counters with the stream
+// coordinator's; the zero value (Enabled false) reports a disabled
+// cache.
+func (s *Server) resultCacheStats() ResultCacheStats {
+	if s.cache == nil {
+		return ResultCacheStats{}
+	}
+	st := s.cache.stats()
+	st.SharedRuns, st.SharedBatches = s.streams.stats()
+	return st
 }
 
 func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
@@ -535,7 +610,7 @@ func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if !s.reg.Delete(name) {
+	if !s.DeleteGraph(name) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownGraph, name))
 		return
 	}
@@ -609,25 +684,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.serve(r.Context(), w, name, &req)
 }
 
-// serve resolves the named graph (reloading it if evicted), validates
-// req against it, runs it through a batch from the graph's pool under
-// the request's context and writes the response. A dropped connection
-// (or server shutdown closing idle connections) cancels ctx, which
-// stops the batch's BFS work mid-flight at world granularity; the
-// batch then returns to the pool clean — Reset on next acquire
-// re-derives everything — and no response is written to the dead
-// client.
+// serve answers one batch request. The request is validated against
+// the graph's *registration* (peek: no load, no LRU touch), its worlds
+// / seed / tolerance are resolved, and then:
+//
+//   - cache disabled (the zero-value Server): the graph is acquired
+//     (reloading it if evicted) and the batch computed directly — the
+//     pre-cache serving path, unchanged;
+//   - cache enabled: the fully resolved request names a cache key. A
+//     stored answer is written back without touching the graph at all
+//     (a cache hit on an evicted graph stays a page-table no-op); a
+//     key already being computed is joined (single-flight); otherwise
+//     this request leads a new flight whose computation runs on its
+//     own goroutine under the flight's context and may share a world
+//     stream with concurrent compatible flights.
+//
+// A dropped connection (or server shutdown) cancels ctx: the request
+// detaches from its flight — which cancels the computation only when
+// no other request is attached — and no response is written to the
+// dead client.
 func (s *Server) serve(ctx context.Context, w http.ResponseWriter, name string, req *BatchRequest) {
-	h, err := s.reg.acquire(name)
-	if err != nil {
-		status := http.StatusInternalServerError // e.g. a path-backed reload failing
-		if errors.Is(err, ErrUnknownGraph) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err)
+	info, ok := s.reg.peek(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownGraph, name))
 		return
 	}
-	if err := s.validate(h, req); err != nil {
+	if err := s.validate(info.vertices, info.cfg, req); err != nil {
 		// Over-budget requests are a payload-size problem, not a
 		// malformed one: 413 tells a well-behaved client to shrink the
 		// request rather than fix it.
@@ -638,18 +720,76 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, name string, 
 		writeError(w, status, err)
 		return
 	}
-	worlds := s.worlds(h, req.Worlds)
+	worlds := s.resolveWorlds(info.cfg, req.Worlds)
 	seed := s.requestSeed(name, req, worlds)
-	tol := s.effTolerance(h)
+	tol := s.effTolerance(info.cfg)
 	if req.Tolerance != nil {
 		tol = *req.Tolerance
 	}
 
+	if s.cache == nil {
+		status, body, abandoned := s.compute(ctx, name, info.gen, req, worlds, seed, tol)
+		if !abandoned {
+			writeRawJSON(w, status, body)
+		}
+		return
+	}
+
+	key := resultCacheKey(name, info.gen, worlds, seed, tol, req.Queries)
+	body, f, leader := s.cache.lookup(key)
+	if f == nil {
+		writeRawJSON(w, http.StatusOK, body)
+		return
+	}
+	if leader {
+		go s.runFlight(key, name, info.gen, req, worlds, seed, tol, f)
+	}
+	select {
+	case <-f.ready:
+		s.cache.detach(f)
+		writeRawJSON(w, f.status, f.body)
+	case <-ctx.Done():
+		s.cache.detach(f)
+	}
+}
+
+// runFlight computes one flight's answer on the leader's goroutine —
+// detached from any single request, cancelled only when every attached
+// request has gone — and settles it for all waiters, storing complete
+// 200 bodies in the cache.
+func (s *Server) runFlight(key, name string, gen uint64, req *BatchRequest, worlds int, seed int64, tol float64, f *flight) {
+	s.cache.computed()
+	status, body, abandoned := s.compute(f.ctx, name, gen, req, worlds, seed, tol)
+	if abandoned {
+		s.cache.abort(key, f)
+		return
+	}
+	s.cache.settle(key, name, f, status, body, status == http.StatusOK)
+}
+
+// compute acquires the graph (reloading it if evicted), runs the fully
+// resolved request through a pooled batch and renders the response to
+// bytes. It returns abandoned=true — no status, no body — when ctx
+// cancelled the run: nobody is listening. With the cache enabled the
+// run goes through the stream coordinator, sharing one sampled world
+// stream with concurrent requests on the same (graph release, seed);
+// otherwise the batch samples alone.
+func (s *Server) compute(ctx context.Context, name string, gen uint64, req *BatchRequest, worlds int, seed int64, tol float64) (status int, body []byte, abandoned bool) {
+	h, err := s.reg.acquire(name)
+	if err != nil {
+		// The graph vanished between peek and acquire, or a path-backed
+		// reload failed.
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownGraph) {
+			status = http.StatusNotFound
+		}
+		return status, encodeJSON(errorResponse{Error: err.Error()}), false
+	}
 	b := h.pool.Get()
-	// Re-stamp the budget the validation above priced against: the
-	// pool's template was resolved at graph-load time, and validate
-	// must agree with Run's own budget check even if the server's
-	// defaults were adjusted since.
+	// Re-stamp the budget the validation priced against: the pool's
+	// template was resolved at graph-load time, and validate must agree
+	// with Run's own budget check even if the server's defaults were
+	// adjusted since.
 	b.MemoryBudget = s.effMemBudget(h.cfg)
 	ids := make([]int, len(req.Queries))
 	for i, q := range req.Queries {
@@ -668,13 +808,18 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, name string, 
 	// Always stamped, never merely defaulted: the batch is pooled, so a
 	// previous request's tolerance must not leak into this one.
 	b.Tolerance = tol
-	if err := b.Run(ctx); err != nil {
+	if s.cache != nil {
+		err = s.streams.run(ctx, streamKey{name: name, gen: gen, seed: seed}, b)
+	} else {
+		err = b.Run(ctx)
+	}
+	if err != nil {
 		h.pool.Put(b)
 		// The usual cause: the client dropped (or the server is
-		// shutting down) and the request context cancelled — abandon
-		// the answer, nobody is listening.
+		// shutting down) and the computation's context cancelled —
+		// abandon the answer, nobody is listening.
 		if ctx.Err() != nil {
-			return
+			return 0, nil, true
 		}
 		// Any other failure must reach the live client — e.g. Run's
 		// own budget check catching a worker-count drift between
@@ -683,49 +828,58 @@ func (s *Server) serve(ctx context.Context, w http.ResponseWriter, name string, 
 		if errors.Is(err, query.ErrOverBudget) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		writeError(w, status, err)
-		return
+		return status, encodeJSON(errorResponse{Error: err.Error()}), false
 	}
+	// Snapshot the merged results and release the batch before
+	// rendering: the pooled buffers go back to work for the next
+	// request while this one serializes (and possibly caches) an
+	// immutable copy.
+	res := b.Snapshot()
+	h.pool.Put(b)
+	return http.StatusOK, encodeJSON(s.buildResponse(name, req, ids, res, seed, tol)), false
+}
 
-	// Worlds reports what the run actually sampled — bit-identical to a
-	// prefix of the full-budget stream when adaptive stopping kicked in.
-	resp := BatchResponse{Graph: name, Worlds: b.WorldsRun(), Seed: seed, Results: make([]QueryResult, len(req.Queries))}
+// buildResponse renders a completed run's snapshot into the response
+// shape. Worlds reports what the run actually sampled — bit-identical
+// to a prefix of the full-budget stream when adaptive stopping kicked
+// in.
+func (s *Server) buildResponse(name string, req *BatchRequest, ids []int, res *query.Results, seed int64, tol float64) BatchResponse {
+	resp := BatchResponse{Graph: name, Worlds: res.WorldsRun(), Seed: seed, Results: make([]QueryResult, len(req.Queries))}
 	if tol > 0 {
 		resp.Tolerance = tol
-		resp.Converged = b.Converged()
+		resp.Converged = res.Converged()
 	}
 	for i, q := range req.Queries {
-		res := QueryResult{Op: q.Op, S: q.S}
+		r := QueryResult{Op: q.Op, S: q.S}
 		switch q.Op {
 		case "reliability", "distance":
-			res.T = &q.T
+			r.T = &q.T
 		case "knn":
-			res.K = &q.K
+			r.K = &q.K
 		}
 		switch q.Op {
 		case "reliability":
-			rel := b.Reliability(ids[i])
-			res.Reliability = &rel
+			rel := res.Reliability(ids[i])
+			r.Reliability = &rel
 		case "distance":
-			dist, disc := b.DistanceDistribution(ids[i])
-			med := b.MedianDistance(ids[i])
-			res.Distances = dist
-			res.Disconnected = &disc
-			res.Median = &med
+			dist, disc := res.DistanceDistribution(ids[i])
+			med := res.MedianDistance(ids[i])
+			r.Distances = dist
+			r.Disconnected = &disc
+			r.Median = &med
 		case "knn":
-			neighbors := b.KNearestWithMedians(ids[i])
-			res.Neighbors = make([]NeighborResult, len(neighbors))
+			neighbors := res.KNearestWithMedians(ids[i])
+			r.Neighbors = make([]NeighborResult, len(neighbors))
 			for j, nb := range neighbors {
-				res.Neighbors[j] = NeighborResult{V: nb.V, Median: nb.Median}
+				r.Neighbors[j] = NeighborResult{V: nb.V, Median: nb.Median}
 			}
 		}
-		resp.Results[i] = res
+		resp.Results[i] = r
 	}
-	h.pool.Put(b)
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
-func (s *Server) validate(h *graphHandle, req *BatchRequest) error {
+func (s *Server) validate(n int, cfg GraphConfig, req *BatchRequest) error {
 	if len(req.Queries) == 0 {
 		return fmt.Errorf("empty query list")
 	}
@@ -746,7 +900,6 @@ func (s *Server) validate(h *graphHandle, req *BatchRequest) error {
 			return fmt.Errorf("tolerance %v must be a finite non-negative number", t)
 		}
 	}
-	n := h.g.NumVertices()
 	knnSources := make(map[int]struct{})
 	for i, q := range req.Queries {
 		if q.S < 0 || q.S >= n {
@@ -774,21 +927,21 @@ func (s *Server) validate(h *graphHandle, req *BatchRequest) error {
 		return fmt.Errorf("%w: %d distinct k-NN sources exceed the per-request cap %d",
 			query.ErrOverBudget, len(knnSources), max)
 	}
-	workers := query.EffectiveWorkers(s.Workers, s.worlds(h, req.Worlds))
-	if need, budget := query.WorstCaseAccumBytes(n, len(knnSources), workers), s.effMemBudget(h.cfg); need > budget {
+	workers := query.EffectiveWorkers(s.Workers, s.resolveWorlds(cfg, req.Worlds))
+	if need, budget := query.WorstCaseAccumBytes(n, len(knnSources), workers), s.effMemBudget(cfg); need > budget {
 		return fmt.Errorf("%w: worst case %d bytes (%d k-NN sources × %d² vertices × 4 bytes × %d workers) > budget %d bytes",
 			query.ErrOverBudget, need, len(knnSources), n, workers, budget)
 	}
 	return nil
 }
 
-// worlds resolves a request's effective sample size: the request's
-// value, else the graph's override, else the server default, clamped
-// by MaxWorlds.
-func (s *Server) worlds(h *graphHandle, requested int) int {
+// resolveWorlds resolves a request's effective sample size: the
+// request's value, else the graph's override, else the server default,
+// clamped by MaxWorlds.
+func (s *Server) resolveWorlds(cfg GraphConfig, requested int) int {
 	w := requested
-	if w <= 0 && h != nil {
-		w = h.cfg.Worlds
+	if w <= 0 {
+		w = cfg.Worlds
 	}
 	if w <= 0 {
 		w = s.Worlds
@@ -807,11 +960,11 @@ func (s *Server) worlds(h *graphHandle, requested int) int {
 
 // defaultWorlds is the server-level default (no graph override in
 // play), reported by /healthz.
-func (s *Server) defaultWorlds() int { return s.worlds(nil, 0) }
+func (s *Server) defaultWorlds() int { return s.resolveWorlds(GraphConfig{}, 0) }
 
-func (s *Server) effTolerance(h *graphHandle) float64 {
-	if h.cfg.Tolerance > 0 {
-		return h.cfg.Tolerance
+func (s *Server) effTolerance(cfg GraphConfig) float64 {
+	if cfg.Tolerance > 0 {
+		return cfg.Tolerance
 	}
 	return s.Tolerance
 }
@@ -893,12 +1046,32 @@ func intParam(r *http.Request, name string) (int, error) {
 	return i, nil
 }
 
+// encodeJSON renders v exactly as writeJSON would put it on the wire
+// (same encoder settings, same trailing newline). All responses —
+// cached, coalesced or computed — pass through this one encoder, which
+// is what makes "cache hit" and "recomputation" byte-identical by
+// construction: encoding/json sorts map keys, so the rendering is a
+// pure function of the response value.
+func encodeJSON(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// Response types are plain data — maps, slices, numbers, strings
+		// — which cannot fail to encode.
+		panic(fmt.Sprintf("qserve: encoding response: %v", err))
+	}
+	return buf.Bytes()
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	writeRawJSON(w, status, encodeJSON(v))
+}
+
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(body)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

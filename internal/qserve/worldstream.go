@@ -1,0 +1,231 @@
+package qserve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"uncertaingraph/internal/query"
+)
+
+// streamKey names one shareable world stream: requests on the same
+// graph release with the same effective seed sample the same worlds in
+// the same order (randx.FillWorldSeeds is prefix-stable), so their
+// batches can ride one sampler tick regardless of their world budgets
+// or tolerances — each batch stops consuming the stream where its own
+// configuration says to.
+type streamKey struct {
+	name string
+	gen  uint64
+	seed int64
+}
+
+// errPromoted is the sentinel a queued waiter receives when it is
+// drafted to *run* the next cohort rather than have its batch run by
+// someone else.
+var errPromoted = errors.New("qserve: promoted to cohort runner")
+
+// streamWaiter is one request queued for the next shared run.
+type streamWaiter struct {
+	b    *query.Batch
+	ctx  context.Context
+	done chan error // buffered; receives errPromoted or the run's error
+
+	// cohort is set on the promoted waiter only, before errPromoted is
+	// sent: the full membership (itself included) it must run.
+	cohort []*streamWaiter
+}
+
+// streamGroup is the per-key state: whether a run is in progress, and
+// the requests queued to share the next one.
+type streamGroup struct {
+	running bool
+	waiters []*streamWaiter
+}
+
+// streamCoord merges concurrent batch computations on the same stream
+// key into shared world streams. The first request on an idle key runs
+// solo immediately (no latency tax on the uncontended path); requests
+// arriving while a run is in progress queue up, and when the run
+// finishes the whole queue is drafted as one cohort whose batches
+// execute over a single sampled world stream (query.RunShared). A
+// mid-flight arrival cannot join the current run — it needs the stream
+// from world 0 — which is exactly what the cohort barrier provides.
+type streamCoord struct {
+	mu     sync.Mutex
+	groups map[streamKey]*streamGroup
+
+	sharedRuns    uint64 // streams that served > 1 batch
+	sharedBatches uint64 // batches those streams served
+}
+
+// run executes b against key's stream: immediately and solo when the
+// key is idle, otherwise as part of the next cohort. It returns when
+// b's computation finished (successfully or not). ctx cancellation
+// before the cohort starts withdraws the request; after the cohort is
+// drafted the run itself is only cancelled once every member's ctx is
+// done (the merged cohort context), so one impatient client never
+// aborts its cohort-mates' shared computation.
+func (c *streamCoord) run(ctx context.Context, key streamKey, b *query.Batch) error {
+	c.mu.Lock()
+	if c.groups == nil {
+		c.groups = make(map[streamKey]*streamGroup)
+	}
+	g := c.groups[key]
+	if g == nil {
+		g = &streamGroup{}
+		c.groups[key] = g
+	}
+	if !g.running {
+		g.running = true
+		c.mu.Unlock()
+		err := b.Run(ctx)
+		c.finish(key, g)
+		return err
+	}
+	w := &streamWaiter{b: b, ctx: ctx, done: make(chan error, 1)}
+	g.waiters = append(g.waiters, w)
+	c.mu.Unlock()
+
+	select {
+	case err := <-w.done:
+		return c.settle(key, g, w, err)
+	case <-ctx.Done():
+		c.mu.Lock()
+		if removeWaiter(g, w) {
+			c.mu.Unlock()
+			return ctx.Err()
+		}
+		c.mu.Unlock()
+		// Already drafted into a cohort: the shared run owns the batch
+		// (its goroutines may be scanning it right now), so wait for the
+		// cohort to finish — the merged context aborts it promptly once
+		// the last member cancels.
+		return c.settle(key, g, w, <-w.done)
+	}
+}
+
+// settle resolves a waiter's outcome; a promoted waiter runs its cohort
+// here, on the requester's own goroutine.
+func (c *streamCoord) settle(key streamKey, g *streamGroup, w *streamWaiter, err error) error {
+	if err != errPromoted {
+		return err
+	}
+	myErr := c.runCohort(w)
+	c.finish(key, g)
+	return myErr
+}
+
+// runCohort executes one drafted cohort over shared world streams and
+// delivers each member's error. Eviction-reload can hand cohort
+// members different resident copies of the same release, and RunShared
+// requires one graph value — so the cohort partitions by graph pointer
+// and each partition shares one stream (answers are bit-identical
+// either way; reloads parse identical bytes).
+func (c *streamCoord) runCohort(self *streamWaiter) error {
+	cohort := self.cohort
+	rctx, cancel := mergedCtx(cohort)
+	defer cancel()
+
+	var parts [][]*streamWaiter
+	for _, w := range cohort {
+		placed := false
+		for i, p := range parts {
+			if p[0].b.Graph() == w.b.Graph() {
+				parts[i] = append(p, w)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			parts = append(parts, []*streamWaiter{w})
+		}
+	}
+
+	var myErr error
+	for _, p := range parts {
+		batches := make([]*query.Batch, len(p))
+		for i, w := range p {
+			batches[i] = w.b
+		}
+		_, err := query.RunShared(rctx, batches)
+		if len(batches) > 1 {
+			c.mu.Lock()
+			c.sharedRuns++
+			c.sharedBatches += uint64(len(batches))
+			c.mu.Unlock()
+		}
+		for _, w := range p {
+			if w == self {
+				myErr = err
+				continue
+			}
+			w.done <- err
+		}
+	}
+	return myErr
+}
+
+// finish retires a completed run: if requests queued up meanwhile they
+// become the next cohort (its first member is promoted to run it),
+// otherwise the key goes idle and its group is dropped.
+func (c *streamCoord) finish(key streamKey, g *streamGroup) {
+	c.mu.Lock()
+	if len(g.waiters) == 0 {
+		g.running = false
+		if c.groups[key] == g {
+			delete(c.groups, key)
+		}
+		c.mu.Unlock()
+		return
+	}
+	cohort := g.waiters
+	g.waiters = nil
+	c.mu.Unlock()
+	cohort[0].cohort = cohort
+	cohort[0].done <- errPromoted
+}
+
+// removeWaiter unqueues w if it is still waiting to be drafted,
+// reporting whether it was found (false means a cohort already owns
+// it).
+func removeWaiter(g *streamGroup, w *streamWaiter) bool {
+	for i, x := range g.waiters {
+		if x == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// stats reports the coordinator's counters.
+func (c *streamCoord) stats() (runs, batches uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sharedRuns, c.sharedBatches
+}
+
+// mergedCtx returns a context that cancels only when every member's
+// context has cancelled: the shared run outlives any single impatient
+// client but stops promptly when nobody is left waiting. The watcher
+// goroutines exit when the merged context dies (cancelled or released
+// by the caller's defer).
+func mergedCtx(ws []*streamWaiter) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var live atomic.Int32
+	live.Store(int32(len(ws)))
+	for _, w := range ws {
+		go func(member context.Context) {
+			select {
+			case <-member.Done():
+				if live.Add(-1) == 0 {
+					cancel()
+				}
+			case <-ctx.Done():
+			}
+		}(w.ctx)
+	}
+	return ctx, cancel
+}

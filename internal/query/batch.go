@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"uncertaingraph/internal/bfs"
+	"uncertaingraph/internal/graph"
 	"uncertaingraph/internal/mathx"
 	"uncertaingraph/internal/parallel"
 	"uncertaingraph/internal/randx"
@@ -133,7 +134,10 @@ type Batch struct {
 	converged bool
 	ran       bool
 
-	cands []cand // scratch for k-NN ranking
+	// res is the live results view the accessors delegate through; its
+	// ranking scratch (an O(n) buffer bounded by the graph, not the
+	// request) persists across runs and Resets.
+	res Results
 }
 
 type qkind uint8
@@ -719,14 +723,21 @@ func growCounts(h []int32, need int) []int32 {
 	return h[:need]
 }
 
-// scanWorld materializes world i into w's sampler buffers, runs one
-// BFS per distinct source, and folds every query's observation into
-// w's integer accumulators. Steady-state cost: zero heap allocations.
+// scanWorld materializes world i into w's sampler buffers and scans
+// it. Steady-state cost: zero heap allocations.
 func (b *Batch) scanWorld(w *worker, i int) {
 	// Reseeding replays exactly the stream randx.New(seed) would
 	// produce, without constructing a new generator.
 	w.rng.Seed(b.seeds[i])
-	world := w.sampler.Sample(w.rng)
+	b.scanSampled(w, w.sampler.Sample(w.rng))
+}
+
+// scanSampled runs one BFS per distinct source over an
+// already-materialized world and folds every query's observation into
+// w's integer accumulators. It is the per-world half RunShared reuses:
+// a shared stream samples each world once and hands the same
+// materialized world to every attached batch.
+func (b *Batch) scanSampled(w *worker, world *graph.Graph) {
 	n := world.NumVertices()
 	for si, s := range b.sources {
 		// A source whose queries all name explicit targets stops its
@@ -812,41 +823,17 @@ func addCounts(dst, src []int32) []int32 {
 	return dst
 }
 
-func (b *Batch) query(id int, kind qkind) *qmeta {
-	if !b.ran {
-		panic("query: result accessed before Run")
-	}
-	if id < 0 || id >= len(b.queries) {
-		panic(fmt.Sprintf("query: id %d out of range", id))
-	}
-	q := &b.queries[id]
-	if q.kind != kind {
-		panic(fmt.Sprintf("query: id %d is not a %v query", id, kind))
-	}
-	return q
-}
-
 // Reliability returns the estimated two-terminal reliability of query
 // id (registered via AddReliability).
 func (b *Batch) Reliability(id int) float64 {
-	q := b.query(id, qReliability)
-	return float64(b.relHits[q.slot]) / float64(b.worldsRun)
+	return b.view().Reliability(id)
 }
 
 // DistanceDistribution returns the estimated distribution of
 // dist(s, t) — dist[d] = Pr(dist = d) — plus the disconnection
 // probability, for query id (registered via AddDistance).
 func (b *Batch) DistanceDistribution(id int) (dist map[int]float64, disconnected float64) {
-	q := b.query(id, qDistance)
-	h := b.distHist[q.slot]
-	r := float64(b.worldsRun)
-	dist = make(map[int]float64)
-	for d, c := range h {
-		if c > 0 {
-			dist[d] = float64(c) / r
-		}
-	}
-	return dist, float64(b.distDisc[q.slot]) / r
+	return b.view().DistanceDistribution(id)
 }
 
 // MedianDistance returns the count-rule median of dist(s, t) for query
@@ -856,8 +843,7 @@ func (b *Batch) DistanceDistribution(id int) (dist map[int]float64, disconnected
 // rule k-NN ranking applies, so both APIs provably agree on shared
 // worlds.
 func (b *Batch) MedianDistance(id int) int {
-	q := b.query(id, qDistance)
-	return medianOfCounts(b.distHist[q.slot], b.worldsRun)
+	return b.view().MedianDistance(id)
 }
 
 // medianOfCounts returns the count-rule median distance given
@@ -888,52 +874,13 @@ type Neighbor struct {
 // the query source (excluding the source), ties broken by vertex id,
 // for query id (registered via AddKNearest).
 func (b *Batch) KNearest(id int) []int {
-	cands := b.knnRank(id)
-	out := make([]int, len(cands))
-	for i, c := range cands {
-		out[i] = c.v
-	}
-	return out
+	return b.view().KNearest(id)
 }
 
 // KNearestWithMedians is KNearest with each neighbour's median
 // distance attached.
 func (b *Batch) KNearestWithMedians(id int) []Neighbor {
-	cands := b.knnRank(id)
-	out := make([]Neighbor, len(cands))
-	for i, c := range cands {
-		out[i] = Neighbor{V: c.v, Median: c.median}
-	}
-	return out
-}
-
-// knnRank extracts per-vertex count-rule medians from the query's
-// d-major histogram and returns the top k candidates; the returned
-// slice aliases the batch's ranking scratch.
-func (b *Batch) knnRank(id int) []cand {
-	q := b.query(id, qKNearest)
-	h := b.knnHist[q.slot]
-	n := b.g.NumVertices()
-	half := (b.worldsRun + 1) / 2
-	maxD := len(h) / n
-	b.cands = b.cands[:0]
-	for v := 0; v < n; v++ {
-		if v == int(q.s) {
-			continue
-		}
-		cum := 0
-		for d := 0; d < maxD; d++ {
-			if cum += int(h[d*n+v]); cum >= half {
-				b.cands = append(b.cands, cand{v: v, median: d})
-				break
-			}
-		}
-	}
-	sortCands(b.cands)
-	if k := int(q.k); k < len(b.cands) {
-		return b.cands[:k]
-	}
-	return b.cands
+	return b.view().KNearestWithMedians(id)
 }
 
 // cand is a k-NN candidate: a vertex and its median distance.

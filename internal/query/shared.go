@@ -1,0 +1,191 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"uncertaingraph/internal/graph"
+	"uncertaingraph/internal/parallel"
+)
+
+// ErrSharedMismatch reports a RunShared call whose batches cannot share
+// one world stream: they must all query the same graph value with the
+// same Seed (and each batch may appear only once).
+var ErrSharedMismatch = errors.New("query: shared run requires distinct batches on one graph with one seed")
+
+// sharedState tracks one batch's position in a shared stream.
+type sharedState struct {
+	limit    int  // the batch's own world budget r_i
+	adaptive bool // Tolerance > 0
+	finished bool
+	progress atomic.Int64
+}
+
+// RunShared evaluates several batches over one shared world stream:
+// each world is sampled once per tick and every still-running batch's
+// BFS pass scans the same materialized world, instead of each batch
+// sampling its own copy. It returns the number of worlds the stream
+// sampled.
+//
+// The stream preserves the solo bit-identity contract for every member.
+// World seeds are pre-derived from the shared Seed exactly as each
+// batch's own Run would derive them, so world i of the stream IS world
+// i of every batch (randx.FillWorldSeeds is prefix-stable: a batch with
+// a smaller world budget sees exactly the prefix its seed derivation
+// promises). Batches keep their own accumulators, world budgets,
+// memory budgets and tolerances: a batch stops consuming the stream at
+// its own budget, and an adaptive batch checks convergence at the same
+// adaptiveBlockSize barriers — over the same merged integer counts —
+// as a solo adaptive run, so each member's results (including WorldsRun
+// and Converged) are bit-identical to running it alone, for every
+// Workers value. The stream's worker count is the minimum of the
+// members' solo effective worker counts, so no member's accumulator
+// footprint exceeds what its own Run (and qserve's validate) priced.
+//
+// Requirements: every batch must query the same graph value with the
+// same Seed, and appear at most once (ErrSharedMismatch otherwise); a
+// batch over its MemoryBudget rejects the whole stream with a
+// *BudgetError before any world is sampled. Cancelling ctx stops the
+// stream at world granularity: batches that already finished keep
+// their results, the rest are left un-ran, and ctx.Err() is returned.
+func RunShared(ctx context.Context, batches []*Batch) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	switch len(batches) {
+	case 0:
+		return 0, nil
+	case 1:
+		b := batches[0]
+		if err := b.Run(ctx); err != nil {
+			return 0, err
+		}
+		return b.worldsRun, nil
+	}
+
+	g, seed := batches[0].g, batches[0].Seed
+	for i, b := range batches {
+		if b == nil || b.g != g || b.Seed != seed {
+			return 0, ErrSharedMismatch
+		}
+		for _, prev := range batches[:i] {
+			if prev == b {
+				return 0, ErrSharedMismatch
+			}
+		}
+	}
+
+	// One worker count for the whole stream: the minimum of the members'
+	// solo clamps, so WorstCaseAccumBytes here never exceeds any
+	// member's solo pricing.
+	workers := 0
+	states := make([]*sharedState, len(batches))
+	maxIdx := 0
+	for i, b := range batches {
+		b.ran = false
+		r := b.worlds()
+		states[i] = &sharedState{limit: r, adaptive: b.Tolerance > 0}
+		if w := b.workerCount(r); workers == 0 || w < workers {
+			workers = w
+		}
+		if r > states[maxIdx].limit {
+			maxIdx = i
+		}
+	}
+	for _, b := range batches {
+		if b.MemoryBudget > 0 {
+			if need := WorstCaseAccumBytes(b.g.NumVertices(), b.nknn, workers); need > b.MemoryBudget {
+				return 0, &BudgetError{NeedBytes: need, BudgetBytes: b.MemoryBudget}
+			}
+		}
+	}
+	for i, b := range batches {
+		b.prepare(workers, states[i].limit)
+	}
+
+	// The longest member's seed table covers the whole stream; every
+	// shorter member's table is its prefix.
+	seeds := batches[maxIdx].seeds
+	sw := batches[0].ws // sampling workers: sampler + reseedable RNG per lane
+
+	done := 0
+	for {
+		target := 0
+		for _, st := range states {
+			if !st.finished && st.limit > target {
+				target = st.limit
+			}
+		}
+		if target <= done {
+			break
+		}
+		end := done + adaptiveBlockSize
+		if end > target {
+			end = target
+		}
+		base := done
+		if workers == 1 {
+			w := sw[0]
+			for i := base; i < end; i++ {
+				if err := ctx.Err(); err != nil {
+					return done, err
+				}
+				w.rng.Seed(seeds[i])
+				world := w.sampler.Sample(w.rng)
+				scanShared(batches, states, 0, world, i)
+			}
+		} else {
+			_ = parallel.ForWorkers(ctx, end-base, workers, func(k, j int) {
+				i := base + j
+				w := sw[k]
+				w.rng.Seed(seeds[i])
+				world := w.sampler.Sample(w.rng)
+				scanShared(batches, states, k, world, i)
+			})
+		}
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		done = end
+		// Barrier: retire members that exhausted their budget or (for
+		// adaptive members, never on fewer than two worlds) converged at
+		// this block boundary — the same schedule their solo Run follows.
+		for i, st := range states {
+			if st.finished {
+				continue
+			}
+			b := batches[i]
+			scanned := done
+			if st.limit < scanned {
+				scanned = st.limit
+			}
+			if scanned == st.limit ||
+				(st.adaptive && scanned >= 2 && b.allConverged(workers, scanned)) {
+				b.merge(workers)
+				b.worldsRun = scanned
+				b.converged = st.adaptive && b.allConverged(1, scanned)
+				b.ran = true
+				st.finished = true
+			}
+		}
+	}
+	return done, nil
+}
+
+// scanShared folds one materialized world into every batch still
+// consuming the stream at index i, using each batch's lane-k worker
+// accumulators. finished flags are only written at block barriers, so
+// reading them here is race-free.
+func scanShared(batches []*Batch, states []*sharedState, k int, world *graph.Graph, i int) {
+	for bi, b := range batches {
+		st := states[bi]
+		if st.finished || i >= st.limit {
+			continue
+		}
+		b.scanSampled(b.ws[k], world)
+		if b.Progress != nil {
+			b.Progress(int(st.progress.Add(1)), st.limit)
+		}
+	}
+}

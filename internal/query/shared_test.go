@@ -1,0 +1,251 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// sharedSpec is one batch shape of the shared-stream identity tests:
+// its own worlds budget and tolerance, plus a query mix.
+type sharedSpec struct {
+	worlds int
+	tol    float64
+	ops    []string
+	args   [][2]int // (s,t) for rel/dist, (s,k) for knn
+}
+
+// sharedSpecs deliberately mixes budgets (none a multiple of another),
+// tolerances (fixed, loose-adaptive, tight-adaptive) and query kinds —
+// including a k-NN batch, which never stops early — so the stream must
+// retire members at different barriers.
+var sharedSpecs = []sharedSpec{
+	{worlds: 200, tol: 0, ops: []string{"rel", "dist"}, args: [][2]int{{0, 50}, {3, 200}}},
+	{worlds: 96, tol: 0.05, ops: []string{"rel"}, args: [][2]int{{0, 50}}},
+	{worlds: 64, tol: 0, ops: []string{"knn", "rel"}, args: [][2]int{{7, 10}, {2, 400}}},
+	{worlds: 200, tol: 0.01, ops: []string{"dist"}, args: [][2]int{{3, 200}}},
+}
+
+func (sp sharedSpec) build(tb testing.TB, g *Batch) []int {
+	tb.Helper()
+	ids := make([]int, len(sp.ops))
+	for i, op := range sp.ops {
+		switch op {
+		case "rel":
+			ids[i] = g.AddReliability(sp.args[i][0], sp.args[i][1])
+		case "dist":
+			ids[i] = g.AddDistance(sp.args[i][0], sp.args[i][1])
+		case "knn":
+			ids[i] = g.AddKNearest(sp.args[i][0], sp.args[i][1])
+		}
+	}
+	return ids
+}
+
+// collect reads every answer of a completed batch into one comparable
+// value.
+func (sp sharedSpec) collect(b *Batch, ids []int) []any {
+	out := []any{b.WorldsRun(), b.Converged()}
+	for i, op := range sp.ops {
+		switch op {
+		case "rel":
+			out = append(out, b.Reliability(ids[i]))
+		case "dist":
+			d, disc := b.DistanceDistribution(ids[i])
+			out = append(out, d, disc, b.MedianDistance(ids[i]))
+		case "knn":
+			out = append(out, b.KNearestWithMedians(ids[i]))
+		}
+	}
+	return out
+}
+
+// TestRunSharedBitIdentityVsSolo is the shared-stream contract: every
+// member of a shared run answers bit-identically to running the same
+// batch alone, whatever its own budget/tolerance and whatever the
+// stream's worker count.
+func TestRunSharedBitIdentityVsSolo(t *testing.T) {
+	g := dblpUncertain(t)
+	const seed = 42
+
+	// Solo references, sequential (the canonical answers).
+	refs := make([][]any, len(sharedSpecs))
+	for i, sp := range sharedSpecs {
+		b := NewBatch(g, Config{Worlds: sp.worlds, Seed: seed, Workers: 1, Tolerance: sp.tol})
+		ids := sp.build(t, b)
+		if err := b.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = sp.collect(b, ids)
+	}
+
+	for _, workers := range []int{1, 4} {
+		batches := make([]*Batch, len(sharedSpecs))
+		allIDs := make([][]int, len(sharedSpecs))
+		for i, sp := range sharedSpecs {
+			batches[i] = NewBatch(g, Config{Worlds: sp.worlds, Seed: seed, Workers: workers, Tolerance: sp.tol})
+			allIDs[i] = sp.build(t, batches[i])
+		}
+		sampled, err := RunShared(context.Background(), batches)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sampled < 2 {
+			t.Fatalf("workers=%d: stream sampled %d worlds", workers, sampled)
+		}
+		for i, sp := range sharedSpecs {
+			got := sp.collect(batches[i], allIDs[i])
+			if !reflect.DeepEqual(got, refs[i]) {
+				t.Errorf("workers=%d batch=%d: shared answers diverge from solo\n got %v\nwant %v",
+					workers, i, got, refs[i])
+			}
+		}
+	}
+}
+
+// TestRunSharedSingleDelegates pins that a one-member stream is
+// exactly a solo run.
+func TestRunSharedSingleDelegates(t *testing.T) {
+	g := dblpUncertain(t)
+	sp := sharedSpecs[1]
+	solo := NewBatch(g, Config{Worlds: sp.worlds, Seed: 7, Tolerance: sp.tol})
+	soloIDs := sp.build(t, solo)
+	if err := solo.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	shared := NewBatch(g, Config{Worlds: sp.worlds, Seed: 7, Tolerance: sp.tol})
+	sharedIDs := sp.build(t, shared)
+	sampled, err := RunShared(context.Background(), []*Batch{shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled != solo.WorldsRun() {
+		t.Errorf("sampled %d worlds, solo ran %d", sampled, solo.WorldsRun())
+	}
+	if got, want := sp.collect(shared, sharedIDs), sp.collect(solo, soloIDs); !reflect.DeepEqual(got, want) {
+		t.Errorf("single-member shared run diverges: got %v want %v", got, want)
+	}
+}
+
+func TestRunSharedRejectsMismatch(t *testing.T) {
+	g := dblpUncertain(t)
+	mk := func(seed int64) *Batch {
+		b := NewBatch(g, Config{Worlds: 16, Seed: seed})
+		b.AddReliability(0, 1)
+		return b
+	}
+	if _, err := RunShared(context.Background(), []*Batch{mk(1), mk(2)}); !errors.Is(err, ErrSharedMismatch) {
+		t.Errorf("mixed seeds: err = %v, want ErrSharedMismatch", err)
+	}
+	b := mk(1)
+	if _, err := RunShared(context.Background(), []*Batch{b, b}); !errors.Is(err, ErrSharedMismatch) {
+		t.Errorf("duplicate batch: err = %v, want ErrSharedMismatch", err)
+	}
+	g2 := dblpUncertain(t)
+	b2 := NewBatch(g2, Config{Worlds: 16, Seed: 1})
+	b2.AddReliability(0, 1)
+	if _, err := RunShared(context.Background(), []*Batch{mk(1), b2}); !errors.Is(err, ErrSharedMismatch) {
+		t.Errorf("mixed graphs: err = %v, want ErrSharedMismatch", err)
+	}
+}
+
+// TestRunSharedCancelRerunIdentity mirrors the solo cancellation
+// contract: a cancelled shared run leaves its unfinished members
+// un-ran, and re-running them (shared again) answers bit-identically
+// to never having been cancelled.
+func TestRunSharedCancelRerunIdentity(t *testing.T) {
+	g := dblpUncertain(t)
+	const seed = 5
+	mk := func(workers int) []*Batch {
+		out := make([]*Batch, 2)
+		for i := range out {
+			out[i] = NewBatch(g, Config{Worlds: 96, Seed: seed, Workers: workers})
+			out[i].AddReliability(i, 50+i)
+			out[i].AddDistance(i, 200)
+		}
+		return out
+	}
+	ref := mk(1)
+	if _, err := RunShared(context.Background(), ref); err != nil {
+		t.Fatal(err)
+	}
+
+	batches := mk(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunShared(ctx, batches); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want context.Canceled", err)
+	}
+	for i, b := range batches {
+		if b.WorldsRun() != 0 {
+			t.Errorf("batch %d: WorldsRun = %d after pre-cancelled run, want 0", i, b.WorldsRun())
+		}
+	}
+	if _, err := RunShared(context.Background(), batches); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batches {
+		if got, want := batches[i].Reliability(0), ref[i].Reliability(0); got != want {
+			t.Errorf("batch %d: post-cancel rerun reliability %v, want %v", i, got, want)
+		}
+		if got, want := batches[i].MedianDistance(1), ref[i].MedianDistance(1); got != want {
+			t.Errorf("batch %d: post-cancel rerun median %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestSnapshotOutlivesBatchReuse pins what the serving layer relies on
+// to cache answers: a Snapshot keeps answering identically after its
+// batch is Reset and reused for a different request.
+func TestSnapshotOutlivesBatchReuse(t *testing.T) {
+	g := dblpUncertain(t)
+	b := NewBatch(g, Config{Worlds: 64, Seed: 3})
+	rel := b.AddReliability(0, 50)
+	dist := b.AddDistance(3, 200)
+	knn := b.AddKNearest(3, 5)
+	if err := b.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Snapshot()
+	wantRel := b.Reliability(rel)
+	wantDist, wantDisc := b.DistanceDistribution(dist)
+	wantMed := b.MedianDistance(dist)
+	wantKNN := append(make([]Neighbor, 0), b.KNearestWithMedians(knn)...)
+	if len(wantKNN) != 5 {
+		t.Fatalf("fixture: knn(3, 5) found %d neighbours, want 5", len(wantKNN))
+	}
+	wantWorlds := b.WorldsRun()
+
+	// Reuse the batch for a different request and run it — the snapshot
+	// must not notice.
+	b.Reset()
+	b.AddReliability(9, 11)
+	b.Seed = 999
+	if err := b.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := snap.Reliability(rel); got != wantRel {
+		t.Errorf("snapshot reliability %v, want %v", got, wantRel)
+	}
+	gotDist, gotDisc := snap.DistanceDistribution(dist)
+	if !reflect.DeepEqual(gotDist, wantDist) || gotDisc != wantDisc {
+		t.Errorf("snapshot distance (%v, %v), want (%v, %v)", gotDist, gotDisc, wantDist, wantDisc)
+	}
+	if got := snap.MedianDistance(dist); got != wantMed {
+		t.Errorf("snapshot median %v, want %v", got, wantMed)
+	}
+	if got := snap.KNearestWithMedians(knn); !reflect.DeepEqual(got, wantKNN) {
+		t.Errorf("snapshot knn %v, want %v", got, wantKNN)
+	}
+	if got := snap.WorldsRun(); got != wantWorlds {
+		t.Errorf("snapshot worlds %d, want %d", got, wantWorlds)
+	}
+	if snap.NumQueries() != 3 {
+		t.Errorf("snapshot queries %d, want 3", snap.NumQueries())
+	}
+	if snap.MemoryBytes() <= 0 {
+		t.Errorf("snapshot MemoryBytes %d, want > 0", snap.MemoryBytes())
+	}
+}
